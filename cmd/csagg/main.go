@@ -1,0 +1,159 @@
+// Command csagg is the aggregator of the distributed outlier-detection
+// deployment: it dials a set of csnode servers, collects their
+// compressive-sensing sketches in one round, recovers the global mode
+// and the k strongest outliers with BOMP, and prints them with the
+// communication cost relative to shipping everything.
+//
+// Usage:
+//
+//	csagg -nodes host1:7001,host2:7001 -dict keys.txt -m 500 -k 10 -seed 42
+//
+// Every node must have been started with the same dictionary file; the
+// measurement seed is the consensus that makes all sketches compatible.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"csoutlier/internal/baseline"
+	"csoutlier/internal/cluster"
+	"csoutlier/internal/keydict"
+	"csoutlier/internal/queries"
+	"csoutlier/internal/recovery"
+	"csoutlier/internal/sensing"
+)
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "", "comma-separated csnode addresses")
+		dictPath  = flag.String("dict", "", "global key dictionary file")
+		m         = flag.Int("m", 0, "measurement count M (sketch length)")
+		k         = flag.Int("k", 10, "outliers to report")
+		seed      = flag.Uint64("seed", 42, "consensus measurement seed")
+		iters     = flag.Int("iters", 0, "BOMP iteration budget R (0 = paper default f(k) in [2k,5k]; raise toward the data's sparsity for sharper values)")
+		stats     = flag.Bool("stats", false, "also print recovered aggregate statistics (sum, mean, percentiles)")
+		exact     = flag.Bool("exact", false, "also run the transmit-ALL baseline for comparison")
+		timeout   = flag.Duration("timeout", 0, "sketch-collection deadline; with -min-nodes, stragglers past it are dropped")
+		minNodes  = flag.Int("min-nodes", 0, "tolerate node failures: proceed once this many sketches arrived (0 = require all; sketch linearity makes the partial aggregate exact over the responders)")
+		ensemble  = flag.String("ensemble", "gaussian", "measurement ensemble: gaussian, sparse or srht")
+		sparseD   = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
+	)
+	flag.Parse()
+	if *nodesFlag == "" || *dictPath == "" || *m <= 0 {
+		fmt.Fprintln(os.Stderr, "csagg: -nodes, -dict and -m are required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*dictPath)
+	if err != nil {
+		log.Fatalf("csagg: %v", err)
+	}
+	dict, err := keydict.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("csagg: %v", err)
+	}
+
+	var nodes []cluster.NodeAPI
+	for _, addr := range strings.Split(*nodesFlag, ",") {
+		rn, err := cluster.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			log.Fatalf("csagg: %v", err)
+		}
+		defer rn.Close()
+		nodes = append(nodes, rn)
+		log.Printf("connected to node %q at %s", rn.ID(), addr)
+	}
+
+	kind, err := sensing.ParseKind(*ensemble)
+	if err != nil {
+		log.Fatalf("csagg: %v", err)
+	}
+	spec := sensing.Spec{
+		Params: sensing.Params{M: *m, N: dict.N(), Seed: *seed},
+		Kind:   kind,
+		D:      *sparseD,
+	}
+	start := time.Now()
+	var res *cluster.DetectResult
+	if *minNodes > 0 || *timeout > 0 {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		part, err := cluster.CollectSketchesCtxSpec(ctx, nodes, spec, cluster.CollectOptions{MinNodes: *minNodes})
+		if err != nil {
+			log.Fatalf("csagg: collect: %v", err)
+		}
+		for id, ferr := range part.Failed {
+			log.Printf("csagg: node %s excluded: %v", id, ferr)
+		}
+		log.Printf("csagg: aggregate over %d/%d nodes: %v", len(part.Included), len(nodes), part.Included)
+		res, err = cluster.DetectSketchSpec(part.Sketch, spec, *k, recovery.Options{MaxIterations: *iters})
+		if err != nil {
+			log.Fatalf("csagg: detect: %v", err)
+		}
+		res.Stats = part.Stats
+	} else {
+		y, stats, err := cluster.CollectSketchesSpec(nodes, spec)
+		if err != nil {
+			log.Fatalf("csagg: collect: %v", err)
+		}
+		res, err = cluster.DetectSketchSpec(y, spec, *k, recovery.Options{MaxIterations: *iters})
+		if err != nil {
+			log.Fatalf("csagg: detect: %v", err)
+		}
+		res.Stats = stats
+	}
+	elapsed := time.Since(start)
+
+	allBytes := baseline.AllCostBytes(len(nodes), dict.N())
+	fmt.Printf("recovered mode b = %.6g  (%d recovery iterations, %v)\n",
+		res.Mode, res.Recovery.Iterations, elapsed.Round(time.Millisecond))
+	fmt.Printf("communication: %d bytes in %d round (%.2f%% of transmit-ALL's %d bytes)\n",
+		res.Stats.Bytes, res.Stats.Rounds, 100*float64(res.Stats.Bytes)/float64(allBytes), allBytes)
+	fmt.Printf("top-%d outliers (furthest from mode first):\n", *k)
+	for i, o := range res.Outliers {
+		fmt.Printf("  %2d. %-40s  value %.6g  (divergence %+.6g)\n",
+			i+1, dict.Key(o.Index), o.Value, o.Value-res.Mode)
+	}
+
+	if *stats {
+		rec := &queries.Recovered{
+			N:       dict.N(),
+			Mode:    res.Mode,
+			Support: res.Recovery.Support,
+		}
+		for _, j := range res.Recovery.Support {
+			rec.Values = append(rec.Values, res.Recovery.X[j])
+		}
+		fmt.Printf("\nrecovered aggregate statistics (from the same sketch):\n")
+		fmt.Printf("  sum  %14.6g\n  mean %14.6g\n", queries.Sum(rec), queries.Mean(rec))
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+			v, err := queries.Percentile(rec, q)
+			if err != nil {
+				log.Fatalf("csagg: %v", err)
+			}
+			fmt.Printf("  p%-4.3g %13.6g\n", q*100, v)
+		}
+	}
+
+	if *exact {
+		ex, err := baseline.All(nodes, *k)
+		if err != nil {
+			log.Fatalf("csagg: exact baseline: %v", err)
+		}
+		fmt.Printf("\ntransmit-ALL ground truth (%d bytes):\n", ex.Stats.Bytes)
+		for i, o := range ex.Outliers {
+			fmt.Printf("  %2d. %-40s  value %.6g\n", i+1, dict.Key(o.Index), o.Value)
+		}
+	}
+}

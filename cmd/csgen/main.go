@@ -1,0 +1,155 @@
+// Command csgen generates a synthetic distributed workload on disk for
+// the csnode/csagg demo: a global key dictionary plus one CSV slice per
+// node, such that the per-node slices look unremarkable (zero-sum noise
+// dominates locally) while the global aggregate is majority-dominated
+// with planted outliers.
+//
+// Usage:
+//
+//	csgen -out /tmp/demo -nodes 4 -n 5000 -s 50 -mode 1800 -seed 42
+//
+// Writes <out>/keys.txt, <out>/node<i>.csv and <out>/truth.csv (the
+// planted outliers, for checking the aggregator's answer).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"csoutlier/internal/keydict"
+	"csoutlier/internal/outlier"
+	"csoutlier/internal/workload"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output directory (created if missing)")
+		nodes = flag.Int("nodes", 4, "number of node slices")
+		n     = flag.Int("n", 5000, "key-space size")
+		s     = flag.Int("s", 50, "planted outlier count")
+		mode  = flag.Float64("mode", 1800, "planted mode")
+		noise = flag.Float64("noise", 0, "per-node zero-sum noise amplitude (0 = 2×mode)")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		raw   = flag.Bool("raw", false, "emit raw click-log CSVs (Market,Vertical,Bucket,Score) instead of aggregated key,value slices; pair with csnode -groupby Market,Vertical,Bucket")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "csgen: -out is required")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("csgen: %v", err)
+	}
+	amp := *noise
+	if amp <= 0 {
+		amp = 2 * *mode
+	}
+
+	global, support := workload.MajorityDominated(*n, *s, *mode, *mode/4, 5**mode, *seed)
+	slices := workload.SplitZeroSumNoise(global, *nodes, amp, *seed+1)
+
+	keys := make([]string, *n)
+	if *raw {
+		// Composite GROUP BY keys: Market|Vertical|Bucket, matching the
+		// key csnode -groupby Market,Vertical,Bucket reconstructs.
+		markets := []string{"de-DE", "en-GB", "en-US", "fr-FR", "ja-JP", "zh-CN"}
+		verticals := []string{"image", "news", "video", "web"}
+		for i := range keys {
+			keys[i] = fmt.Sprintf("%s|%s|b%08d",
+				markets[i%len(markets)], verticals[(i/len(markets))%len(verticals)], i)
+		}
+		sort.Strings(keys)
+	} else {
+		for i := range keys {
+			keys[i] = fmt.Sprintf("segment-%08d", i)
+		}
+	}
+	dict := keydict.FromSorted(keys)
+
+	// keys.txt
+	if err := writeFile(filepath.Join(*out, "keys.txt"), func(w *bufio.Writer) error {
+		return dict.Write(w)
+	}); err != nil {
+		log.Fatalf("csgen: %v", err)
+	}
+
+	// node<i>.csv
+	for i, sl := range slices {
+		path := filepath.Join(*out, fmt.Sprintf("node%d.csv", i))
+		if err := writeFile(path, func(w *bufio.Writer) error {
+			if *raw {
+				// Raw log lines: split every aggregate into a couple of
+				// signed click events, as a real log would hold.
+				if _, err := fmt.Fprintln(w, "Market,Vertical,Bucket,Score"); err != nil {
+					return err
+				}
+				for j, v := range sl {
+					if v == 0 {
+						continue
+					}
+					parts := strings.SplitN(keys[j], "|", 3)
+					half := v/2 + 17
+					for _, ev := range []float64{half, v - half} {
+						if _, err := fmt.Fprintf(w, "%s,%s,%s,%g\n", parts[0], parts[1], parts[2], ev); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
+			for j, v := range sl {
+				if v == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "%s,%g\n", keys[j], v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			log.Fatalf("csgen: %v", err)
+		}
+	}
+
+	// truth.csv — the planted outliers, strongest first.
+	truth := outlier.TopK(global, *mode, *s)
+	if err := writeFile(filepath.Join(*out, "truth.csv"), func(w *bufio.Writer) error {
+		if _, err := fmt.Fprintf(w, "# planted mode,%g\n", *mode); err != nil {
+			return err
+		}
+		for _, kv := range truth {
+			if _, err := fmt.Fprintf(w, "%s,%g\n", keys[kv.Index], kv.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatalf("csgen: %v", err)
+	}
+
+	log.Printf("csgen: wrote %d keys, %d node slices, %d planted outliers (of %d support) to %s",
+		*n, *nodes, len(truth), len(support), *out)
+}
+
+func writeFile(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,175 @@
+// Command csnode serves one data node (one "data center") of the
+// distributed outlier-detection deployment: it loads a local data slice,
+// vectorizes it against a global key dictionary, and answers
+// sketch/sample/outlier requests from a csagg aggregator over TCP.
+//
+// Usage (pre-aggregated key,value slice):
+//
+//	csnode -listen :7001 -dict keys.txt -data slice.csv -name dc-west
+//
+// Usage (raw click logs, aggregated on the fly with the paper's GROUP BY
+// template — the first CSV line names the columns, one of which must be
+// "Score"):
+//
+//	csnode -listen :7001 -dict keys.txt -data clicks.csv -groupby Market,Vertical
+//
+// The dictionary file holds one key per line, sorted (composite keys for
+// the raw mode: GROUP BY values joined with "|"). All nodes of one
+// deployment must use the same dictionary file.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"csoutlier"
+	"csoutlier/internal/cluster"
+	"csoutlier/internal/keydict"
+	"csoutlier/internal/linalg"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7001", "address to serve on")
+		dictPath = flag.String("dict", "", "global key dictionary file (one key per line, sorted)")
+		dataPath = flag.String("data", "", "local data CSV: key,value lines, or raw logs with -groupby")
+		groupBy  = flag.String("groupby", "", "comma-separated GROUP BY columns; switches -data to raw-log mode")
+		name     = flag.String("name", "", "node name (default: listen address)")
+	)
+	flag.Parse()
+	if *dictPath == "" || *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "csnode: -dict and -data are required")
+		os.Exit(2)
+	}
+	if *name == "" {
+		*name = *listen
+	}
+
+	dict, err := loadDict(*dictPath)
+	if err != nil {
+		log.Fatalf("csnode: %v", err)
+	}
+	var x linalg.Vector
+	if *groupBy != "" {
+		x, err = loadRawLogs(dict, *dataPath, strings.Split(*groupBy, ","))
+	} else {
+		x, err = loadSlice(dict, *dataPath)
+	}
+	if err != nil {
+		log.Fatalf("csnode: %v", err)
+	}
+	node := cluster.NewLocalNode(*name, x)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("csnode: listen: %v", err)
+	}
+	log.Printf("csnode %q serving %d keys on %s", *name, dict.N(), ln.Addr())
+	if err := cluster.Serve(ln, node); err != nil {
+		log.Fatalf("csnode: serve: %v", err)
+	}
+}
+
+func loadDict(path string) (*keydict.Dictionary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return keydict.Read(f)
+}
+
+func loadSlice(dict *keydict.Dictionary, path string) (linalg.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	x := make(linalg.Vector, dict.N())
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(text, ',')
+		if i < 0 {
+			return nil, fmt.Errorf("%s:%d: no comma in %q", path, line, text)
+		}
+		key := text[:i]
+		v, err := strconv.ParseFloat(strings.TrimSpace(text[i+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad value: %v", path, line, err)
+		}
+		idx, ok := dict.Index(key)
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: key %q not in dictionary", path, line, key)
+		}
+		x[idx] += v // partial aggregation, like the paper's mappers
+	}
+	return x, sc.Err()
+}
+
+// loadRawLogs reads raw click logs (CSV with a header row, a "Score"
+// column, and arbitrary attribute columns), runs the paper's GROUP BY
+// aggregation through the public query front-end, and vectorizes the
+// result against the shared dictionary.
+func loadRawLogs(dict *keydict.Dictionary, path string, groupBy []string) (linalg.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := csv.NewReader(bufio.NewReader(f))
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%s: header: %w", path, err)
+	}
+	scoreCol := -1
+	for i, h := range header {
+		if h == "Score" {
+			scoreCol = i
+		}
+	}
+	if scoreCol < 0 {
+		return nil, fmt.Errorf("%s: no Score column in header %v", path, header)
+	}
+	var recs []csoutlier.LogRecord
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		score, err := strconv.ParseFloat(strings.TrimSpace(row[scoreCol]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad score: %w", path, line, err)
+		}
+		attrs := make(map[string]string, len(header)-1)
+		for i, h := range header {
+			if i != scoreCol {
+				attrs[h] = row[i]
+			}
+		}
+		recs = append(recs, csoutlier.LogRecord{Attrs: attrs, Score: score})
+	}
+	q := &csoutlier.OutlierQuery{K: 1, GroupBy: groupBy}
+	pairs, err := q.AggregateNode(recs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return dict.Vectorize(pairs)
+}

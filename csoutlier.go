@@ -1,0 +1,352 @@
+// Package csoutlier is a compressive-sensing toolkit for distributed
+// outlier detection, reproducing "Distributed Outlier Detection using
+// Compressive Sensing" (Yan et al., SIGMOD 2015).
+//
+// The problem: a huge key→value aggregate is scattered across many
+// shared-nothing nodes (x = Σ_l x_l), and an analyst wants the k keys
+// whose aggregated values diverge most from the (unknown) mode the rest
+// of the data concentrates around — without shipping the data.
+//
+// The method: every node compresses its local slice with the same
+// random Gaussian projection, y_l = Φ₀·x_l, and ships only the M-vector
+// y_l (M ≈ O(s·log N) for s-sparse-around-a-bias data). Because
+// measurement is linear, Σ y_l = Φ₀·x: the aggregator holds a sketch of
+// the exact global aggregate, recovers the mode and outliers with the
+// BOMP algorithm, and never sees the raw data. Communication drops from
+// O(N·L) to O(M·L).
+//
+// Basic usage:
+//
+//	s, _ := csoutlier.NewSketcher(keys, csoutlier.Config{M: 200, Seed: 42})
+//	y1, _ := s.SketchPairs(node1Pairs) // at node 1
+//	y2, _ := s.SketchPairs(node2Pairs) // at node 2
+//	global := y1.Clone()
+//	global.Add(y2)                     // at the aggregator
+//	report, _ := s.Detect(global, 10)  // top-10 outliers + mode
+//
+// Sketches are plain []float64 payloads: ship them however you like, or
+// use the cmd/csnode + cmd/csagg binaries for a ready-made TCP
+// deployment. Sketch.Add and Sketch.Sub give O(M) incremental updates
+// when new data arrives or a node joins/leaves the aggregation.
+package csoutlier
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"csoutlier/internal/keydict"
+	"csoutlier/internal/outlier"
+	"csoutlier/internal/recovery"
+	"csoutlier/internal/sensing"
+)
+
+// Ensemble selects the measurement-matrix family.
+type Ensemble int
+
+const (
+	// Gaussian is the paper's ensemble: i.i.d. N(0, 1/M) entries, the
+	// strongest recovery guarantees (Theorem 1). Default.
+	Gaussian Ensemble = iota
+	// SparseRademacher uses D non-zero ±1/√D entries per column: each
+	// observation folds into a sketch in O(D) instead of O(M), at a
+	// modest recovery-quality cost. Use for very hot ingest paths.
+	SparseRademacher
+	// SRHT is the subsampled randomized Hadamard transform: measuring a
+	// dense slice costs one O(N·log N) fast transform regardless of M,
+	// and recovery's correlation step drops from O(M·N) to O(N·log N)
+	// per iteration. Use for dense slices and large M. Single-key
+	// updates (Updater.Observe) still cost O(M).
+	SRHT
+)
+
+// Config parameterizes a Sketcher.
+type Config struct {
+	// M is the sketch length (measurement count). Larger M recovers more
+	// outliers more reliably; communication per node is M·8 bytes.
+	// Theorem 1 of the paper: M = O(sᵃ·log N) suffices for s outliers.
+	M int
+	// Seed is the consensus seed: all nodes participating in one
+	// aggregation must use the same Seed (and M, Ensemble, key list).
+	Seed uint64
+	// MaxIterations caps BOMP's greedy iterations. 0 derives the
+	// paper's R = f(k) ∈ [2k, 5k] from the query's k at Detect time.
+	MaxIterations int
+	// Ensemble selects the measurement family (default Gaussian).
+	Ensemble Ensemble
+	// SparseD is the per-column non-zero count for SparseRademacher
+	// (0 = max(8, M/16)). Ignored for Gaussian.
+	SparseD int
+}
+
+// Outlier is one detected outlier.
+type Outlier struct {
+	Key   string  // the key, from the global dictionary
+	Value float64 // the recovered aggregated value
+}
+
+// Report is the answer to a k-outlier query.
+type Report struct {
+	// Outliers are the detected k-outliers, furthest-from-mode first.
+	Outliers []Outlier
+	// Mode is the recovered bias b the data concentrates around.
+	Mode float64
+	// Iterations is the number of recovery iterations spent.
+	Iterations int
+}
+
+// Sketch is a compressed representation of a node's key→value slice.
+// Sketches with equal parameters form a vector space: Add and Sub
+// combine and remove slices in O(M).
+type Sketch struct {
+	// Y is the raw measurement payload (length M). Serialize it any way
+	// you like; it is the only thing a node ships.
+	Y []float64
+
+	m    int
+	n    int
+	seed uint64
+	ens  Ensemble
+	d    int // SparseRademacher density (0 for Gaussian)
+}
+
+// Clone returns an independent copy.
+func (s Sketch) Clone() Sketch {
+	y := make([]float64, len(s.Y))
+	copy(y, s.Y)
+	c := s
+	c.Y = y
+	return c
+}
+
+// compatible reports whether two sketches may be combined.
+func (s Sketch) compatible(o Sketch) error {
+	if s.m != o.m || s.n != o.n || s.seed != o.seed || s.ens != o.ens || s.d != o.d {
+		return fmt.Errorf("csoutlier: incompatible sketches (M=%d/%d, N=%d/%d, seed=%d/%d, ensemble=%d/%d, D=%d/%d)",
+			s.m, o.m, s.n, o.n, s.seed, o.seed, s.ens, o.ens, s.d, o.d)
+	}
+	return nil
+}
+
+// Add accumulates another node's sketch (or an incremental-update
+// sketch) into s.
+func (s Sketch) Add(o Sketch) error {
+	if err := s.compatible(o); err != nil {
+		return err
+	}
+	for i, v := range o.Y {
+		s.Y[i] += v
+	}
+	return nil
+}
+
+// Sub removes a node's sketch from s — e.g. a data center leaving the
+// aggregation.
+func (s Sketch) Sub(o Sketch) error {
+	if err := s.compatible(o); err != nil {
+		return err
+	}
+	for i, v := range o.Y {
+		s.Y[i] -= v
+	}
+	return nil
+}
+
+// Sketcher compresses slices and recovers outliers for one fixed
+// (key list, M, seed) consensus. It is safe for concurrent use.
+type Sketcher struct {
+	cfg    Config
+	dict   *keydict.Dictionary
+	params sensing.Params
+	matrix sensing.Matrix // dense when affordable, seeded otherwise
+}
+
+// denseLimit caps M·N for materializing the measurement matrix.
+const denseLimit = int64(4e7)
+
+// NewSketcher builds a Sketcher over the global key list. The key list
+// defines the vectorization order; every participant must supply the
+// same set of keys (order-insensitive — the dictionary canonicalizes by
+// sorting).
+func NewSketcher(keys []string, cfg Config) (*Sketcher, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("csoutlier: empty key list")
+	}
+	if cfg.M <= 0 {
+		return nil, fmt.Errorf("csoutlier: M must be positive, got %d", cfg.M)
+	}
+	b := keydict.NewBuilder()
+	b.AddAll(keys)
+	if b.Len() != len(keys) {
+		return nil, fmt.Errorf("csoutlier: key list contains %d duplicates", len(keys)-b.Len())
+	}
+	dict := b.Freeze()
+	if cfg.M > dict.N() {
+		return nil, fmt.Errorf("csoutlier: M=%d exceeds key-space size N=%d (no compression)", cfg.M, dict.N())
+	}
+	p := sensing.Params{M: cfg.M, N: dict.N(), Seed: cfg.Seed}
+	var mat sensing.Matrix
+	var err error
+	switch cfg.Ensemble {
+	case Gaussian:
+		if int64(p.M)*int64(p.N) <= denseLimit {
+			mat, err = sensing.NewDense(p)
+		} else {
+			mat, err = sensing.NewSeeded(p)
+		}
+	case SparseRademacher:
+		d := cfg.SparseD
+		if d <= 0 {
+			d = cfg.M / 16
+			if d < 8 {
+				d = 8
+			}
+		}
+		mat, err = sensing.NewSparseRademacher(p, d)
+	case SRHT:
+		mat, err = sensing.NewSRHT(p)
+	default:
+		return nil, fmt.Errorf("csoutlier: unknown ensemble %d", cfg.Ensemble)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Sketcher{cfg: cfg, dict: dict, params: p, matrix: mat}, nil
+}
+
+// N returns the key-space size.
+func (s *Sketcher) N() int { return s.dict.N() }
+
+// M returns the sketch length.
+func (s *Sketcher) M() int { return s.params.M }
+
+// Keys returns the canonical (sorted) key order.
+func (s *Sketcher) Keys() []string { return s.dict.Keys() }
+
+// CompressionRatio returns M/N — the fraction of ALL-shipping
+// communication a sketch costs.
+func (s *Sketcher) CompressionRatio() float64 { return s.params.CompressionRatio() }
+
+// emptySketch returns a zero sketch with this sketcher's identity.
+func (s *Sketcher) emptySketch() Sketch {
+	d := 0
+	if sr, ok := s.matrix.(*sensing.SparseRademacher); ok {
+		d = sr.D()
+	}
+	return Sketch{
+		Y: make([]float64, s.params.M),
+		m: s.params.M, n: s.params.N, seed: s.params.Seed,
+		ens: s.cfg.Ensemble, d: d,
+	}
+}
+
+// ZeroSketch returns an all-zero sketch, the identity for Add — useful
+// as an accumulator at the aggregator.
+func (s *Sketcher) ZeroSketch() Sketch { return s.emptySketch() }
+
+// SketchPairs compresses a node's local aggregation, given as key→value
+// pairs. Keys must come from the global key list; missing keys simply
+// contribute zero. This is the node-side operation (CS-Mapper).
+func (s *Sketcher) SketchPairs(pairs map[string]float64) (Sketch, error) {
+	idx, vals, err := s.dict.SparseVectorize(pairs)
+	if err != nil {
+		return Sketch{}, err
+	}
+	out := s.emptySketch()
+	s.matrix.MeasureSparse(idx, vals, out.Y)
+	return out, nil
+}
+
+// SketchVector compresses an already-vectorized slice (values in the
+// canonical key order, length N).
+func (s *Sketcher) SketchVector(x []float64) (Sketch, error) {
+	if len(x) != s.params.N {
+		return Sketch{}, fmt.Errorf("csoutlier: vector length %d, want N=%d", len(x), s.params.N)
+	}
+	out := s.emptySketch()
+	s.matrix.Measure(x, out.Y)
+	return out, nil
+}
+
+// FromPayload reconstructs a Sketch around a raw payload received from
+// a node (length must be M).
+func (s *Sketcher) FromPayload(y []float64) (Sketch, error) {
+	if len(y) != s.params.M {
+		return Sketch{}, fmt.Errorf("csoutlier: payload length %d, want M=%d", len(y), s.params.M)
+	}
+	out := s.emptySketch()
+	copy(out.Y, y)
+	return out, nil
+}
+
+// Detect recovers the k-outliers and the mode from an aggregated global
+// sketch (the aggregator-side operation, CS-Reducer: BOMP recovery).
+func (s *Sketcher) Detect(global Sketch, k int) (*Report, error) {
+	if err := global.compatible(s.emptySketch()); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("csoutlier: k must be positive, got %d", k)
+	}
+	iters := s.cfg.MaxIterations
+	if iters == 0 {
+		iters = recovery.IterationBudget(k)
+	}
+	res, err := recovery.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: iters})
+	if err != nil {
+		return nil, err
+	}
+	cands := make([]outlier.KV, len(res.Support))
+	for i, j := range res.Support {
+		cands[i] = outlier.KV{Index: j, Value: res.X[j]}
+	}
+	top := outlier.TopKOf(cands, res.Mode, k)
+	rep := &Report{Mode: res.Mode, Iterations: res.Iterations}
+	for _, kv := range top {
+		rep.Outliers = append(rep.Outliers, Outlier{Key: s.dict.Key(kv.Index), Value: kv.Value})
+	}
+	return rep, nil
+}
+
+// Recover reconstructs the full (approximate) global aggregate from the
+// sketch: the mode everywhere except on the recovered support. maxIters
+// ≤ 0 uses min(M, N+1).
+func (s *Sketcher) Recover(global Sketch, maxIters int) (map[string]float64, float64, error) {
+	if err := global.compatible(s.emptySketch()); err != nil {
+		return nil, 0, err
+	}
+	res, err := recovery.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: maxIters})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[string]float64, len(res.Support))
+	for _, j := range res.Support {
+		out[s.dict.Key(j)] = res.X[j]
+	}
+	return out, res.Mode, nil
+}
+
+// ExactOutliers answers the k-outlier query on uncompressed data — the
+// transmit-ALL ground truth, provided for validation and for callers
+// that want the same ranking semantics without sketching. The mode is
+// the exact majority value when one exists, else the supplied data's
+// value closest to the recovered concentration is not defined and 0 is
+// used.
+func ExactOutliers(pairs map[string]float64, k int) ([]Outlier, float64) {
+	keys := make([]string, 0, len(pairs))
+	for key := range pairs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	x := make([]float64, len(keys))
+	for i, key := range keys {
+		x[i] = pairs[key]
+	}
+	mode, _ := outlier.Mode(x)
+	top := outlier.TopK(x, mode, k)
+	out := make([]Outlier, len(top))
+	for i, kv := range top {
+		out[i] = Outlier{Key: keys[kv.Index], Value: kv.Value}
+	}
+	return out, mode
+}

@@ -1,0 +1,140 @@
+package csoutlier
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSparseRademacherEnsembleDetects(t *testing.T) {
+	keys := testKeys(400)
+	sk, err := NewSketcher(keys, Config{M: 200, Seed: 51, Ensemble: SparseRademacher, SparseD: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mode = 1800.0
+	planted := map[int]float64{17: 9000, 99: -7000, 300: 5000}
+	pairs := biasedPairs(keys, mode, planted)
+	y, err := sk.SketchPairs(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sk.Detect(y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Mode-mode) > 0.02*mode {
+		t.Fatalf("sparse-ensemble mode = %v", rep.Mode)
+	}
+	want := map[string]bool{keys[17]: true, keys[99]: true, keys[300]: true}
+	for _, o := range rep.Outliers {
+		if !want[o.Key] {
+			t.Fatalf("sparse-ensemble detected wrong key %q", o.Key)
+		}
+	}
+}
+
+func TestEnsemblesAreIncompatible(t *testing.T) {
+	keys := testKeys(100)
+	g, err := NewSketcher(keys, Config{M: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSketcher(keys, Config{M: 40, Seed: 1, Ensemble: SparseRademacher})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yg, _ := g.SketchPairs(nil)
+	ys, _ := s.SketchPairs(nil)
+	if err := yg.Add(ys); err == nil {
+		t.Fatal("cross-ensemble Add accepted")
+	}
+	// And through the codec.
+	data, err := ys.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.UnmarshalSketch(data); err == nil {
+		t.Fatal("cross-ensemble unmarshal accepted")
+	}
+	if _, err := s.UnmarshalSketch(data); err != nil {
+		t.Fatalf("same-ensemble unmarshal failed: %v", err)
+	}
+}
+
+func TestSparseDensityPartOfIdentity(t *testing.T) {
+	keys := testKeys(100)
+	a, _ := NewSketcher(keys, Config{M: 40, Seed: 1, Ensemble: SparseRademacher, SparseD: 8})
+	b, _ := NewSketcher(keys, Config{M: 40, Seed: 1, Ensemble: SparseRademacher, SparseD: 16})
+	ya, _ := a.SketchPairs(nil)
+	yb, _ := b.SketchPairs(nil)
+	if err := ya.Add(yb); err == nil {
+		t.Fatal("cross-density Add accepted")
+	}
+}
+
+func TestSRHTEnsembleDetects(t *testing.T) {
+	keys := testKeys(500)
+	sk, err := NewSketcher(keys, Config{M: 220, Seed: 61, Ensemble: SRHT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mode = 1800.0
+	planted := map[int]float64{17: 9000, 99: -7000, 300: 5000}
+	pairs := biasedPairs(keys, mode, planted)
+	y, err := sk.SketchPairs(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sk.Detect(y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Mode-mode) > 1 {
+		t.Fatalf("SRHT mode = %v", rep.Mode)
+	}
+	want := []string{keys[17], keys[99], keys[300]}
+	for i, o := range rep.Outliers {
+		if o.Key != want[i] {
+			t.Fatalf("SRHT outlier %d = %q, want %q", i, o.Key, want[i])
+		}
+	}
+	// Cross-ensemble sketches must not combine.
+	g, _ := NewSketcher(keys, Config{M: 220, Seed: 61})
+	yg, _ := g.SketchPairs(nil)
+	if err := y.Add(yg); err == nil {
+		t.Fatal("SRHT/Gaussian cross-ensemble Add accepted")
+	}
+}
+
+func TestUnknownEnsembleRejected(t *testing.T) {
+	if _, err := NewSketcher(testKeys(10), Config{M: 4, Ensemble: Ensemble(99)}); err == nil {
+		t.Fatal("unknown ensemble accepted")
+	}
+}
+
+func TestSparseEnsembleUpdater(t *testing.T) {
+	// The O(D) ingest path: streamed observations must equal the batch
+	// sketch under the sparse ensemble too.
+	keys := testKeys(60)
+	sk, err := NewSketcher(keys, Config{M: 32, Seed: 5, Ensemble: SparseRademacher, SparseD: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := sk.NewUpdater()
+	if err := u.Observe(keys[7], 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Observe(keys[30], -1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sk.SketchPairs(map[string]float64{keys[7]: 3, keys[30]: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := u.Sketch()
+	for i := range want.Y {
+		if math.Abs(got.Y[i]-want.Y[i]) > 1e-12 {
+			t.Fatal("sparse streamed sketch differs from batch")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Distributed: the real networked deployment, in one process.
+//
+// This example starts four data-node servers on loopback TCP — each the
+// same server that cmd/csnode runs — then plays the aggregator
+// (cmd/csagg's role): it dials the nodes, collects sketches in a single
+// round, and recovers the global outliers and mode with BOMP. It also
+// runs the transmit-ALL and K+δ baselines over the same connections and
+// prints the communication-cost comparison from the paper's §6.1.2.
+//
+// Run: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"csoutlier/internal/baseline"
+	"csoutlier/internal/cluster"
+	"csoutlier/internal/outlier"
+	"csoutlier/internal/recovery"
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/workload"
+)
+
+func main() {
+	const (
+		n     = 4000
+		s     = 40
+		nodes = 4
+		k     = 8
+		mode  = 1800.0
+	)
+	global, _ := workload.MajorityDominated(n, s, mode, 300, 9000, 11)
+	slices := workload.SplitZeroSumNoise(global, nodes, 3*mode, 12)
+
+	// Start one TCP server per data node (csnode's role).
+	remotes := make([]cluster.NodeAPI, nodes)
+	for i, sl := range slices {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		node := cluster.NewLocalNode(fmt.Sprintf("dc-%d", i), sl)
+		go cluster.Serve(ln, node)
+		rn, err := cluster.Dial(ln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rn.Close()
+		remotes[i] = rn
+		fmt.Printf("node %q serving at %s\n", rn.ID(), ln.Addr())
+	}
+
+	// Aggregator: one-round CS detection over the wire.
+	p := sensing.Params{M: 240, N: n, Seed: 2015}
+	res, err := cluster.Detect(remotes, p, k, recovery.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCS (BOMP):   mode %.1f, %d bytes, %d round\n",
+		res.Mode, res.Stats.Bytes, res.Stats.Rounds)
+
+	// Baselines over the same connections.
+	all, err := baseline.All(remotes, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ALL:         mode %.1f, %d bytes, %d round (exact)\n",
+		all.Mode, all.Stats.Bytes, all.Stats.Rounds)
+
+	kd, err := baseline.KDelta(remotes, baseline.KDeltaForBudget(res.Stats.Bytes, nodes, k, n, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("K+delta:     mode %.1f, %d bytes, %d rounds\n",
+		kd.Mode, kd.Stats.Bytes, kd.Stats.Rounds)
+
+	truth := all.Outliers
+	fmt.Printf("\naccuracy vs exact (k=%d):\n", k)
+	fmt.Printf("  CS (BOMP):  EK=%.2f EV=%.3f at %.1f%% of ALL's cost\n",
+		outlier.ErrorOnKey(truth, res.Outliers), outlier.ErrorOnValue(truth, res.Outliers),
+		100*float64(res.Stats.Bytes)/float64(all.Stats.Bytes))
+	fmt.Printf("  K+delta:    EK=%.2f EV=%.3f at %.1f%% of ALL's cost\n",
+		outlier.ErrorOnKey(truth, kd.Outliers), outlier.ErrorOnValue(truth, kd.Outliers),
+		100*float64(kd.Stats.Bytes)/float64(all.Stats.Bytes))
+
+	fmt.Println("\ntop outliers via CS:")
+	for i, o := range res.Outliers {
+		fmt.Printf("  %d. key#%04d  value %9.1f (divergence %+9.1f)\n",
+			i+1, o.Index, o.Value, o.Value-res.Mode)
+	}
+}

@@ -1,0 +1,89 @@
+// Quickstart: detect global outliers from compressed sketches.
+//
+// Three nodes each hold a slice of a key→score aggregate. Locally, every
+// slice looks unremarkable; globally, five keys diverge wildly from the
+// mode. Each node ships only an M-length sketch (here 2.4 KB instead of
+// 8 KB of raw values), and the aggregator recovers the mode and the
+// outliers from the summed sketches.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csoutlier"
+)
+
+func main() {
+	// The global key dictionary: every participant agrees on this list
+	// (and on M and the seed) before the run.
+	var keys []string
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, fmt.Sprintf("query-segment-%04d", i))
+	}
+	sk, err := csoutlier.NewSketcher(keys, csoutlier.Config{M: 300, Seed: 2015})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key space N=%d, sketch length M=%d (%.1f%% of transmit-all)\n\n",
+		sk.N(), sk.M(), 100*sk.CompressionRatio())
+
+	// The hidden global truth: mode 1800, five planted outliers.
+	const mode = 1800.0
+	truth := map[string]float64{}
+	for _, k := range keys {
+		truth[k] = mode
+	}
+	truth["query-segment-0042"] = 9000
+	truth["query-segment-0137"] = -4500
+	truth["query-segment-0500"] = 5200
+	truth["query-segment-0777"] = -100
+	truth["query-segment-0900"] = 4000
+
+	// Scatter the truth across three nodes with node-local clutter that
+	// cancels in the sum — locally nothing stands out.
+	nodes := make([]map[string]float64, 3)
+	for i := range nodes {
+		nodes[i] = map[string]float64{}
+	}
+	for i, k := range keys {
+		v := truth[k]
+		clutter := float64((i*7919)%1000) - 500
+		nodes[0][k] = v/3 + clutter
+		nodes[1][k] = v/3 - 2*clutter
+		nodes[2][k] = v - nodes[0][k] - nodes[1][k]
+	}
+
+	// Node side: sketch and "ship".
+	global := sk.ZeroSketch()
+	for i, pairs := range nodes {
+		y, err := sk.SketchPairs(pairs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("node %d ships %d measurements (%d bytes)\n", i, len(y.Y), 8*len(y.Y))
+		if err := global.Add(y); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Aggregator side: recover mode + outliers from the summed sketch.
+	rep, err := sk.Detect(global, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecovered mode: %.1f (true: %.1f)\n", rep.Mode, mode)
+	fmt.Println("detected outliers (furthest from mode first):")
+	for i, o := range rep.Outliers {
+		fmt.Printf("  %d. %-22s value %8.1f   (true %8.1f)\n", i+1, o.Key, o.Value, truth[o.Key])
+	}
+
+	// Sanity: the exact answer on the uncompressed global aggregate.
+	exact, exactMode := csoutlier.ExactOutliers(truth, 5)
+	fmt.Printf("\nexact ground truth (mode %.1f):\n", exactMode)
+	for i, o := range exact {
+		fmt.Printf("  %d. %-22s value %8.1f\n", i+1, o.Key, o.Value)
+	}
+}

@@ -1,0 +1,112 @@
+// Streaming: standing sketches over live event streams, plus the
+// broader aggregation queries.
+//
+// Two nodes ingest a stream of click events one at a time; each event
+// folds into a standing O(M) sketch (no raw data is retained). At any
+// moment the aggregator can combine the standing sketches and answer
+// not just the k-outlier query but the related aggregates the paper
+// lists (§1): sum, mean, percentiles, top-k — all from one recovery
+// pass over the compact (mode + outliers) representation.
+//
+// Run: go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csoutlier"
+	"csoutlier/internal/xrand"
+)
+
+func main() {
+	var keys []string
+	for i := 0; i < 800; i++ {
+		keys = append(keys, fmt.Sprintf("segment-%03d", i))
+	}
+	sk, err := csoutlier.NewSketcher(keys, csoutlier.Config{M: 260, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two ingest nodes with standing sketches.
+	west, east := sk.NewUpdater(), sk.NewUpdater()
+	rng := xrand.New(1)
+
+	// Simulate a day of events: every segment accrues ~ the same score
+	// in small increments, split across nodes...
+	const mode = 1200.0
+	for _, k := range keys {
+		remaining := mode
+		for remaining > 0 {
+			inc := 40 + 20*rng.Float64()
+			if inc > remaining {
+				inc = remaining
+			}
+			u := west
+			if rng.Float64() < 0.5 {
+				u = east
+			}
+			if err := u.Observe(k, inc); err != nil {
+				log.Fatal(err)
+			}
+			remaining -= inc
+		}
+	}
+	// ...except a few anomalies that build up slowly on ONE node each —
+	// invisible locally among thousands of increments.
+	anomalies := map[string]float64{
+		"segment-042": +5200, // viral segment
+		"segment-137": -4100, // quick-back storm
+		"segment-555": +3300,
+	}
+	for k, total := range anomalies {
+		per := total / 80
+		for i := 0; i < 80; i++ {
+			if err := east.Observe(k, per); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("west ingested %d observations, east %d — each retains only %d floats\n\n",
+		west.Updates(), east.Updates(), sk.M())
+
+	// Aggregator: combine standing sketches, answer everything at once.
+	global := west.Sketch()
+	if err := global.Add(east.Sketch()); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sk.Aggregate(global, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mode   %10.1f   (true %.1f)\n", rep.Mode(), mode)
+	fmt.Printf("sum    %10.1f   (true %.1f)\n", rep.Sum(), mode*800+5200-4100+3300)
+	fmt.Printf("mean   %10.2f\n", rep.Mean())
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		v, err := rep.Percentile(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("p%-5.3g %10.1f\n", q*100, v)
+	}
+	fmt.Printf("range  %10.1f\n\n", rep.Range())
+
+	fmt.Println("top-3 segments by recovered score:")
+	for i, o := range rep.TopK(3) {
+		fmt.Printf("  %d. %-12s %10.1f\n", i+1, o.Key, o.Value)
+	}
+	fmt.Println("bottom-2 segments:")
+	for i, o := range rep.BottomK(2) {
+		fmt.Printf("  %d. %-12s %10.1f\n", i+1, o.Key, o.Value)
+	}
+
+	det, err := sk.Detect(global, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nk-outlier view (divergence from mode, both directions):")
+	for i, o := range det.Outliers {
+		fmt.Printf("  %d. %-12s %10.1f (true anomaly %+.0f)\n", i+1, o.Key, o.Value, anomalies[o.Key])
+	}
+}

@@ -1,0 +1,84 @@
+package csoutlier
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"csoutlier/internal/keydict"
+)
+
+// Fuzz targets for the two decoders that consume bytes from the
+// network/disk: the sketch codec and the key-dictionary reader. They
+// run as regression tests over the seed corpus under plain `go test`,
+// and explore further with `go test -fuzz`.
+
+func FuzzDecodeSketch(f *testing.F) {
+	// Seed with a valid sketch and a few mutations.
+	sk, err := NewSketcher([]string{"a", "b", "c", "d"}, Config{M: 3, Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	y, err := sk.SketchPairs(map[string]float64{"b": 2.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := y.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CSK2"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	truncated := append([]byte(nil), valid[:len(valid)-3]...)
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeSketch(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode to an identical payload.
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("decoded sketch failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode/encode not idempotent:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+func FuzzKeydictRead(f *testing.F) {
+	f.Add("a\nb\nc\n")
+	f.Add("")
+	f.Add("z\na\n") // unsorted
+	f.Add("dup\ndup\n")
+	f.Add("one-key-only")
+	f.Add("\r\r")       // regression: CR-bearing key must be rejected, not mangled
+	f.Add("a\r\nb\r\n") // CRLF files read fine (keys "a", "b")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := keydict.Read(strings.NewReader(text)) // must never panic
+		if err != nil {
+			return
+		}
+		// A successfully read dictionary must round-trip.
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := keydict.Read(&buf)
+		if err != nil {
+			t.Fatalf("round-trip of accepted dictionary failed: %v", err)
+		}
+		if d2.N() != d.N() {
+			t.Fatalf("round-trip changed size: %d vs %d", d2.N(), d.N())
+		}
+		for i := 0; i < d.N(); i++ {
+			if d.Key(i) != d2.Key(i) {
+				t.Fatalf("round-trip changed key %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module csoutlier
+
+go 1.22

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/outlier"
+	"csoutlier/internal/sensing"
+)
+
+// CollectOptions tunes fault-tolerant sketch collection.
+type CollectOptions struct {
+	// MinNodes is the minimum number of node responses required for the
+	// aggregation to be considered usable. 0 means all nodes (strict).
+	//
+	// Sketch linearity makes partial aggregation well-defined: the sum
+	// over responding nodes is exactly the sketch of the aggregate over
+	// those nodes (the paper's node-removal property, §1 challenge 3),
+	// so an outage shrinks the data window instead of failing the query.
+	MinNodes int
+}
+
+// PartialResult reports a fault-tolerant collection.
+type PartialResult struct {
+	Sketch   linalg.Vector
+	Included []string // node IDs whose sketches are in the sum
+	Failed   map[string]error
+	Stats    CommStats
+}
+
+// CollectSketchesCtx gathers sketches in parallel with cancellation and
+// straggler tolerance. It returns early with an error when the context
+// is cancelled or when too few nodes respond; otherwise it sums whatever
+// subset responded (at least opts.MinNodes) and reports the exact
+// membership of the aggregate.
+func CollectSketchesCtx(ctx context.Context, nodes []NodeAPI, p sensing.Params, opts CollectOptions) (*PartialResult, error) {
+	return CollectSketchesCtxSpec(ctx, nodes, sensing.GaussianSpec(p), opts)
+}
+
+// CollectSketchesCtxSpec is CollectSketchesCtx for an explicit ensemble.
+func CollectSketchesCtxSpec(ctx context.Context, nodes []NodeAPI, spec sensing.Spec, opts CollectOptions) (*PartialResult, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	min := opts.MinNodes
+	if min <= 0 || min > len(nodes) {
+		min = len(nodes)
+	}
+
+	type resp struct {
+		id  string
+		y   linalg.Vector
+		err error
+	}
+	ch := make(chan resp, len(nodes))
+	for _, node := range nodes {
+		go func(node NodeAPI) {
+			y, err := node.Sketch(spec)
+			select {
+			case ch <- resp{id: node.ID(), y: y, err: err}:
+			case <-ctx.Done():
+			}
+		}(node)
+	}
+
+	res := &PartialResult{
+		Sketch: make(linalg.Vector, spec.M),
+		Failed: make(map[string]error),
+		Stats:  CommStats{Rounds: 1},
+	}
+	for received := 0; received < len(nodes); received++ {
+		select {
+		case <-ctx.Done():
+			// Timed out: usable if the quorum already arrived.
+			if len(res.Included) >= min {
+				sort.Strings(res.Included)
+				return res, nil
+			}
+			return nil, fmt.Errorf("cluster: context done with %d/%d responses (need %d): %w",
+				len(res.Included), len(nodes), min, ctx.Err())
+		case r := <-ch:
+			if r.err != nil {
+				res.Failed[r.id] = r.err
+				continue
+			}
+			if len(r.y) != spec.M {
+				res.Failed[r.id] = fmt.Errorf("sketch length %d, want %d", len(r.y), spec.M)
+				continue
+			}
+			sensing.AddSketch(res.Sketch, r.y)
+			res.Included = append(res.Included, r.id)
+			res.Stats.Bytes += sensing.SketchBytes(spec.M)
+			res.Stats.Messages++
+		}
+	}
+	if len(res.Included) < min {
+		return nil, fmt.Errorf("cluster: only %d/%d nodes responded (need %d); failures: %v",
+			len(res.Included), len(nodes), min, res.Failed)
+	}
+	sort.Strings(res.Included)
+	return res, nil
+}
+
+// faultyNode wraps a NodeAPI and fails every call; used by tests.
+type faultyNode struct {
+	name string
+}
+
+// NewFaultyNode returns a node that errors on every request — a stand-in
+// for a crashed or partitioned data center in tests and examples.
+func NewFaultyNode(name string) NodeAPI { return &faultyNode{name: name} }
+
+func (f *faultyNode) ID() string { return f.name }
+func (f *faultyNode) Sketch(sensing.Spec) (linalg.Vector, error) {
+	return nil, fmt.Errorf("cluster: node %s unavailable", f.name)
+}
+func (f *faultyNode) FullVector() (linalg.Vector, error) {
+	return nil, fmt.Errorf("cluster: node %s unavailable", f.name)
+}
+func (f *faultyNode) SampleValues([]int) ([]float64, error) {
+	return nil, fmt.Errorf("cluster: node %s unavailable", f.name)
+}
+func (f *faultyNode) LocalOutliers(float64, int) ([]outlier.KV, error) {
+	return nil, fmt.Errorf("cluster: node %s unavailable", f.name)
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/outlier"
+	"csoutlier/internal/recovery"
+	"csoutlier/internal/sensing"
+)
+
+// The full distributed pipeline must work identically over every
+// measurement ensemble, including across the TCP transport (the Spec
+// travels on the wire).
+func TestDetectAcrossEnsemblesOverTCP(t *testing.T) {
+	const n, s, k = 256, 6, 4
+	const mode = 1800.0
+	nodes, global, _ := makeCluster(t, n, s, 3, mode, 31)
+	remotes := make([]NodeAPI, len(nodes))
+	for i, nd := range nodes {
+		addr := startServer(t, nd)
+		rn, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rn.Close() })
+		remotes[i] = rn
+	}
+	truth := outlier.TrueOutliers(global, mode, k)
+	for _, spec := range []sensing.Spec{
+		{Params: sensing.Params{M: 110, N: n, Seed: 32}, Kind: sensing.KindGaussian},
+		{Params: sensing.Params{M: 140, N: n, Seed: 33}, Kind: sensing.KindSparseRademacher, D: 16},
+		{Params: sensing.Params{M: 120, N: n, Seed: 34}, Kind: sensing.KindSRHT},
+	} {
+		y, stats, err := CollectSketchesSpec(remotes, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Kind, err)
+		}
+		if stats.Bytes != int64(3*spec.M*8) {
+			t.Fatalf("%v: bytes %d", spec.Kind, stats.Bytes)
+		}
+		res, err := DetectSketchSpec(y, spec, k, recovery.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Kind, err)
+		}
+		if math.Abs(res.Mode-mode) > 0.02*mode {
+			t.Fatalf("%v: mode %v", spec.Kind, res.Mode)
+		}
+		if ek := outlier.ErrorOnKey(truth, res.Outliers); ek > 0.26 {
+			t.Fatalf("%v: EK %v", spec.Kind, ek)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]sensing.Kind{
+		"gaussian": sensing.KindGaussian,
+		"":         sensing.KindGaussian,
+		"sparse":   sensing.KindSparseRademacher,
+		"srht":     sensing.KindSRHT,
+	} {
+		got, err := sensing.ParseKind(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := sensing.ParseKind("fourier"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if sensing.KindSRHT.String() != "srht" || sensing.Kind(9).String() == "" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestSpecNewDispatch(t *testing.T) {
+	p := sensing.Params{M: 8, N: 32, Seed: 1}
+	for _, tc := range []struct {
+		spec sensing.Spec
+		want string
+	}{
+		{sensing.GaussianSpec(p), "*sensing.Dense"},
+		{sensing.Spec{Params: sensing.Params{M: 8, N: 1 << 24, Seed: 1}, Kind: sensing.KindGaussian}, "*sensing.Seeded"},
+		{sensing.Spec{Params: p, Kind: sensing.KindSparseRademacher, D: 2}, "*sensing.SparseRademacher"},
+		{sensing.Spec{Params: p, Kind: sensing.KindSRHT}, "*sensing.SRHT"},
+	} {
+		m, err := sensing.New(tc.spec, 0)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.spec, err)
+		}
+		if got := typeName(m); got != tc.want {
+			t.Fatalf("New(%v) = %s, want %s", tc.spec.Kind, got, tc.want)
+		}
+	}
+	if _, err := sensing.New(sensing.Spec{Params: p, Kind: sensing.Kind(99)}, 0); err == nil {
+		t.Fatal("unknown kind accepted by New")
+	}
+}
+
+func typeName(v interface{}) string {
+	switch v.(type) {
+	case *sensing.Dense:
+		return "*sensing.Dense"
+	case *sensing.Seeded:
+		return "*sensing.Seeded"
+	case *sensing.SparseRademacher:
+		return "*sensing.SparseRademacher"
+	case *sensing.SRHT:
+		return "*sensing.SRHT"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/outlier"
+	"csoutlier/internal/sensing"
+)
+
+// The TCP transport speaks a tiny gob-framed request/response protocol
+// over a persistent connection: the aggregator (client) encodes one
+// request struct, the node (server) replies with one response struct.
+// This is the real-network counterpart of LocalNode, used by cmd/csnode
+// and cmd/csagg; the geo-distributed deployment of the paper's §1 maps
+// one csnode process to one data center.
+
+type reqKind uint8
+
+const (
+	reqID reqKind = iota + 1
+	reqSketch
+	reqFull
+	reqSample
+	reqOutliers
+)
+
+type request struct {
+	Kind    reqKind
+	Spec    sensing.Spec
+	Indices []int
+	Mode    float64
+	Count   int
+}
+
+type response struct {
+	Err  string
+	Name string
+	Vec  []float64
+	KVs  []outlier.KV
+}
+
+// Serve answers NodeAPI requests for node on the listener until the
+// listener is closed. It returns the first accept error (including the
+// closed-listener error on shutdown).
+func Serve(ln net.Listener, node NodeAPI) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, node)
+	}
+}
+
+func serveConn(conn net.Conn, node NodeAPI) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // client went away (io.EOF) or sent garbage
+		}
+		resp := handle(node, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func handle(node NodeAPI, req *request) *response {
+	switch req.Kind {
+	case reqID:
+		return &response{Name: node.ID()}
+	case reqSketch:
+		y, err := node.Sketch(req.Spec)
+		return vecResp(y, err)
+	case reqFull:
+		x, err := node.FullVector()
+		return vecResp(x, err)
+	case reqSample:
+		vs, err := node.SampleValues(req.Indices)
+		return vecResp(vs, err)
+	case reqOutliers:
+		kvs, err := node.LocalOutliers(req.Mode, req.Count)
+		if err != nil {
+			return &response{Err: err.Error()}
+		}
+		return &response{KVs: kvs}
+	default:
+		return &response{Err: fmt.Sprintf("cluster: unknown request kind %d", req.Kind)}
+	}
+}
+
+func vecResp(v []float64, err error) *response {
+	if err != nil {
+		return &response{Err: err.Error()}
+	}
+	return &response{Vec: v}
+}
+
+// RemoteNode is a NodeAPI over a TCP connection to a Serve-d node.
+type RemoteNode struct {
+	mu   sync.Mutex // the protocol is strictly request/response
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+	name string
+}
+
+// Dial connects to a node served at addr and fetches its ID.
+func Dial(addr string) (*RemoteNode, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	rn := &RemoteNode{
+		conn: conn,
+		dec:  gob.NewDecoder(conn),
+		enc:  gob.NewEncoder(conn),
+	}
+	resp, err := rn.roundTrip(&request{Kind: reqID})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	rn.name = resp.Name
+	return rn, nil
+}
+
+// Close releases the connection.
+func (r *RemoteNode) Close() error { return r.conn.Close() }
+
+func (r *RemoteNode) roundTrip(req *request) (*response, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("cluster: send: %w", err)
+	}
+	var resp response
+	if err := r.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("cluster: node closed connection")
+		}
+		return nil, fmt.Errorf("cluster: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// ID implements NodeAPI.
+func (r *RemoteNode) ID() string { return r.name }
+
+// Sketch implements NodeAPI.
+func (r *RemoteNode) Sketch(spec sensing.Spec) (linalg.Vector, error) {
+	resp, err := r.roundTrip(&request{Kind: reqSketch, Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	return linalg.Vector(resp.Vec), nil
+}
+
+// FullVector implements NodeAPI.
+func (r *RemoteNode) FullVector() (linalg.Vector, error) {
+	resp, err := r.roundTrip(&request{Kind: reqFull})
+	if err != nil {
+		return nil, err
+	}
+	return linalg.Vector(resp.Vec), nil
+}
+
+// SampleValues implements NodeAPI.
+func (r *RemoteNode) SampleValues(idx []int) ([]float64, error) {
+	resp, err := r.roundTrip(&request{Kind: reqSample, Indices: idx})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vec, nil
+}
+
+// LocalOutliers implements NodeAPI.
+func (r *RemoteNode) LocalOutliers(mode float64, count int) ([]outlier.KV, error) {
+	resp, err := r.roundTrip(&request{Kind: reqOutliers, Mode: mode, Count: count})
+	if err != nil {
+		return nil, err
+	}
+	return resp.KVs, nil
+}
+
+var _ NodeAPI = (*RemoteNode)(nil)
+var _ NodeAPI = (*LocalNode)(nil)

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/sensing"
+)
+
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	node := NewLocalNode("x", linalg.Vector{1, 2, 3})
+	addr := startServer(t, node)
+
+	// Throw junk at the server; it must drop the connection quietly.
+	junk, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := junk.Write([]byte("GET / HTTP/1.1\r\n\r\n\x00\xff\x00garbage")); err != nil {
+		t.Fatal(err)
+	}
+	junk.Close()
+
+	// A well-formed client must still be served afterwards.
+	rn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rn.Close()
+	x, err := rn.FullVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(linalg.Vector{1, 2, 3}, 0) {
+		t.Fatal("post-garbage request returned wrong data")
+	}
+}
+
+func TestRemoteNodeConcurrentCalls(t *testing.T) {
+	// The client serializes request/response pairs on one connection;
+	// concurrent callers must not interleave frames.
+	x := make(linalg.Vector, 50)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	addr := startServer(t, NewLocalNode("x", x))
+	rn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rn.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				switch (w + i) % 3 {
+				case 0:
+					got, err := rn.SampleValues([]int{w})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got[0] != float64(w) {
+						t.Errorf("interleaved response: got %v want %d", got[0], w)
+						return
+					}
+				case 1:
+					if _, err := rn.Sketch(sensing.GaussianSpec(sensing.Params{M: 4, N: 50, Seed: 1})); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					if _, err := rn.LocalOutliers(0, 2); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServeStopsOnListenerClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Serve(ln, NewLocalNode("x", linalg.Vector{1})) }()
+	ln.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Serve returned nil after listener close")
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+
+	"csoutlier/internal/theory"
+)
+
+// Conj1 reproduces the §4.1 numerical verification of the
+// Near-Isometric Transformation conjecture: for each (M, s) the table
+// reports the observed failure rate of ‖Φ∗ᵀr‖₂ ≥ 0.5‖r‖₂, the worst
+// observed ratio, and the implied lower bound on the constant c (the
+// paper observes c ≈ 0.4 at s = 2 and wide margins for M, s ≥ 10).
+func Conj1(cfg Config) ([]*Table, error) {
+	trials := cfg.trials(scaleInt(20000, cfg.scale(), 500))
+	type point struct{ m, s int }
+	points := []point{
+		{10, 2}, {20, 2}, {40, 2}, {80, 2}, // the paper's stress case
+		{20, 10}, {50, 10}, {100, 10}, // "M and s larger than 10"
+		{200, 50},
+	}
+	xs := make([]float64, len(points))
+	fail := make([]float64, len(points))
+	minRatio := make([]float64, len(points))
+	cBound := make([]float64, len(points))
+	sCol := make([]float64, len(points))
+	for i, pt := range points {
+		rep := theory.VerifyConjecture1(pt.m, pt.s, trials, cfg.Seed+uint64(i)*13)
+		xs[i] = float64(pt.m)
+		sCol[i] = float64(pt.s)
+		fail[i] = float64(rep.Failures) / float64(rep.Trials)
+		minRatio[i] = rep.MinRatio
+		cBound[i] = rep.CLowerBound
+	}
+	t := &Table{
+		Title:  "Conjecture 1 (§4.1): near-isometric transformation, P(‖Φ∗ᵀr‖ ≥ 0.5‖r‖)",
+		XLabel: "M",
+		YLabel: "per-(M,s) statistics over random trials",
+		X:      xs,
+	}
+	for _, s := range []struct {
+		name string
+		y    []float64
+	}{
+		{"s", sCol}, {"failure-rate", fail}, {"min-ratio", minRatio}, {"c-lower-bound", cBound},
+	} {
+		if err := t.AddSeries(s.name, s.y); err != nil {
+			return nil, err
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// Conj2 reproduces the §4.2 numerical verification of the
+// Near-Independent Inner Product conjecture with a = 1.1 and the BOMP
+// worst-case dependence ζ = 1/√N.
+func Conj2(cfg Config) ([]*Table, error) {
+	trials := cfg.trials(scaleInt(50000, cfg.scale(), 2000))
+	const m = 200
+	zeta := 1 / math.Sqrt(10000)
+	eps := []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.5}
+	rep := theory.VerifyConjecture2(m, trials, zeta, eps, cfg.Seed+99)
+	t := &Table{
+		Title:  "Conjecture 2 (§4.2): near-independent inner product, a = 1.1, ζ = 1/√10000, M = 200",
+		XLabel: "epsilon",
+		YLabel: "P(|<x,y'>| <= eps)",
+		X:      eps,
+	}
+	obs := make([]float64, len(rep.Points))
+	conj := make([]float64, len(rep.Points))
+	holds := make([]float64, len(rep.Points))
+	for i, p := range rep.Points {
+		obs[i] = p.Observed
+		conj[i] = p.Conjectured
+		if p.Holds {
+			holds[i] = 1
+		}
+	}
+	for _, s := range []struct {
+		name string
+		y    []float64
+	}{
+		{"observed", obs}, {"conjectured-bound", conj}, {"holds", holds},
+	} {
+		if err := t.AddSeries(s.name, s.y); err != nil {
+			return nil, err
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,83 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBealeCycleInstance runs the classic Beale example that makes the
+// plain Dantzig rule cycle forever without an anti-cycling safeguard.
+// In standard form (slacks added) it is:
+//
+//	min  -0.75x4 + 150x5 - 0.02x6 + 6x7
+//	s.t.  x1 + 0.25x4 - 60x5 - 0.04x6 + 9x7 = 0
+//	      x2 + 0.50x4 - 90x5 - 0.02x6 + 3x7 = 0
+//	      x3 +                    x6        = 1
+//
+// Optimal objective: -0.05 (x6 = 1, x4 = x5 = x7 = 0 … with x4 basic).
+func TestBealeCycleInstance(t *testing.T) {
+	p := Problem{
+		M: 3, N: 7,
+		A: []float64{
+			1, 0, 0, 0.25, -60, -1.0 / 25, 9,
+			0, 1, 0, 0.50, -90, -1.0 / 50, 3,
+			0, 0, 1, 0, 0, 1, 0,
+		},
+		B: []float64{0, 0, 1},
+		C: []float64{0, 0, 0, -0.75, 150, -0.02, 6},
+	}
+	x, obj, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Beale instance did not solve (cycling?): %v", err)
+	}
+	if math.Abs(obj-(-0.05)) > 1e-9 {
+		t.Fatalf("objective = %v, want -0.05", obj)
+	}
+	// Constraints hold.
+	for i := 0; i < p.M; i++ {
+		s := 0.0
+		for j := 0; j < p.N; j++ {
+			s += p.A[i*p.N+j] * x[j]
+		}
+		if math.Abs(s-p.B[i]) > 1e-8 {
+			t.Fatalf("constraint %d violated: %v != %v", i, s, p.B[i])
+		}
+	}
+}
+
+// Highly degenerate random-ish instance: many RHS zeros force ties in
+// the ratio test; the solver must terminate and be feasible.
+func TestManyDegenerateVertices(t *testing.T) {
+	p := Problem{
+		M: 4, N: 8,
+		A: []float64{
+			1, 1, 0, 0, 1, 0, 0, 0,
+			1, -1, 0, 0, 0, 1, 0, 0,
+			0, 0, 1, 1, 0, 0, 1, 0,
+			0, 0, 1, -1, 0, 0, 0, 1,
+		},
+		B: []float64{0, 0, 2, 0},
+		C: []float64{1, 1, 1, 1, 0, 0, 0, 0},
+	}
+	x, obj, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj < -1e-9 {
+		t.Fatalf("objective = %v below 0 with non-negative costs", obj)
+	}
+	for i := 0; i < p.M; i++ {
+		s := 0.0
+		for j := 0; j < p.N; j++ {
+			s += p.A[i*p.N+j] * x[j]
+		}
+		if math.Abs(s-p.B[i]) > 1e-8 {
+			t.Fatalf("constraint %d violated", i)
+		}
+	}
+	for j, v := range x {
+		if v < -1e-9 {
+			t.Fatalf("x[%d] = %v negative", j, v)
+		}
+	}
+}

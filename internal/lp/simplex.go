@@ -1,0 +1,314 @@
+// Package lp implements a dense two-phase primal simplex solver for
+// linear programs in standard equality form:
+//
+//	minimize  cᵀx   subject to   A·x = b,  x ≥ 0.
+//
+// It exists to support the Basis Pursuit recovery baseline from the
+// paper's §2.2: BP recovers a sparse vector by solving
+// min ‖x‖₁ s.t. y = Φx, "which is transformed into a linear programming
+// problem". The repro band notes the Go sparse-recovery ecosystem is thin,
+// so the solver is handwritten here on top of internal/linalg-free dense
+// arithmetic.
+//
+// The implementation is a textbook dense tableau simplex with Bland's
+// anti-cycling rule as a fallback after a degeneracy streak. It targets
+// the moderate problem sizes BP sees in this repository (hundreds of
+// variables); it is not a general-purpose industrial LP code.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Result statuses.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+)
+
+// Problem is an LP in standard form: minimize C·x subject to A·x = B, x ≥ 0.
+// A is dense row-major with M rows and N columns (len(A) == M*N).
+type Problem struct {
+	M, N int
+	A    []float64
+	B    []float64
+	C    []float64
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIter bounds total pivots across both phases. 0 means
+	// 50·(M+N)+2000, generous for the problem sizes used here.
+	MaxIter int
+	// Tol is the feasibility/optimality tolerance. 0 means 1e-9.
+	Tol float64
+}
+
+// Solve returns an optimal basic feasible solution and its objective.
+func Solve(p Problem, opt Options) ([]float64, float64, error) {
+	if err := validate(p); err != nil {
+		return nil, 0, err
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-9
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 50*(p.M+p.N) + 2000
+	}
+
+	// Normalize b ≥ 0 by flipping row signs, so artificial variables can
+	// start the phase-1 basis at value b.
+	a := make([]float64, len(p.A))
+	copy(a, p.A)
+	b := make([]float64, len(p.B))
+	copy(b, p.B)
+	for i := 0; i < p.M; i++ {
+		if b[i] < 0 {
+			b[i] = -b[i]
+			row := a[i*p.N : (i+1)*p.N]
+			for j := range row {
+				row[j] = -row[j]
+			}
+		}
+	}
+
+	t := newTableau(p.M, p.N, a, b)
+
+	// Phase 1: minimize the sum of artificial variables.
+	if err := t.runPhase1(opt); err != nil {
+		return nil, 0, err
+	}
+	// Phase 2: original objective.
+	x, obj, err := t.runPhase2(p.C, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, obj, nil
+}
+
+func validate(p Problem) error {
+	if p.M < 0 || p.N <= 0 {
+		return fmt.Errorf("lp: bad dimensions M=%d N=%d", p.M, p.N)
+	}
+	if len(p.A) != p.M*p.N {
+		return fmt.Errorf("lp: len(A)=%d, want %d", len(p.A), p.M*p.N)
+	}
+	if len(p.B) != p.M {
+		return fmt.Errorf("lp: len(B)=%d, want %d", len(p.B), p.M)
+	}
+	if len(p.C) != p.N {
+		return fmt.Errorf("lp: len(C)=%d, want %d", len(p.C), p.N)
+	}
+	for _, v := range append(append(append([]float64{}, p.A...), p.B...), p.C...) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: non-finite input coefficient")
+		}
+	}
+	return nil
+}
+
+// tableau holds the dense simplex tableau with columns for the N
+// structural variables followed by M artificial variables, plus the RHS.
+type tableau struct {
+	m, n  int       // constraints, structural variables
+	width int       // n + m artificials
+	rows  []float64 // m rows × (width+1); last entry of each row is RHS
+	basis []int     // basis[i] = variable index basic in row i
+	cost  []float64 // reduced-cost row, width+1 wide (last = -objective)
+}
+
+func newTableau(m, n int, a, b []float64) *tableau {
+	width := n + m
+	t := &tableau{
+		m: m, n: n, width: width,
+		rows:  make([]float64, m*(width+1)),
+		basis: make([]int, m),
+		cost:  make([]float64, width+1),
+	}
+	for i := 0; i < m; i++ {
+		row := t.row(i)
+		copy(row[:n], a[i*n:(i+1)*n])
+		row[n+i] = 1 // artificial
+		row[width] = b[i]
+		t.basis[i] = n + i
+	}
+	return t
+}
+
+func (t *tableau) row(i int) []float64 {
+	w := t.width + 1
+	return t.rows[i*w : (i+1)*w]
+}
+
+// setObjective installs reduced costs for objective c over the allowed
+// column range [0, limit), pricing out the current basis.
+func (t *tableau) setObjective(c []float64, limit int) {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	for j := 0; j < len(c); j++ {
+		t.cost[j] = c[j]
+	}
+	// Price out basic variables: cost row must be zero on basis columns.
+	for i := 0; i < t.m; i++ {
+		cb := 0.0
+		if t.basis[i] < len(c) {
+			cb = c[t.basis[i]]
+		}
+		if cb == 0 {
+			continue
+		}
+		row := t.row(i)
+		for j := 0; j <= t.width; j++ {
+			t.cost[j] -= cb * row[j]
+		}
+	}
+	_ = limit
+}
+
+// pivot performs a pivot on (row r, column c).
+func (t *tableau) pivot(r, c int) {
+	pr := t.row(r)
+	inv := 1 / pr[c]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		ri := t.row(i)
+		f := ri[c]
+		if f == 0 {
+			continue
+		}
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		ri[c] = 0
+	}
+	f := t.cost[c]
+	if f != 0 {
+		for j := range t.cost {
+			t.cost[j] -= f * pr[j]
+		}
+		t.cost[c] = 0
+	}
+	t.basis[r] = c
+}
+
+// iterate runs simplex pivots restricted to columns [0, colLimit) until
+// optimal. Dantzig rule with a switch to Bland's rule after a run of
+// degenerate pivots.
+func (t *tableau) iterate(colLimit int, opt Options) error {
+	degenerate := 0
+	useBland := false
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		// Entering column.
+		enter := -1
+		if useBland {
+			for j := 0; j < colLimit; j++ {
+				if t.cost[j] < -opt.Tol {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -opt.Tol
+			for j := 0; j < colLimit; j++ {
+				if t.cost[j] < best {
+					best, enter = t.cost[j], j
+				}
+			}
+		}
+		if enter == -1 {
+			return nil // optimal
+		}
+		// Ratio test for leaving row.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			row := t.row(i)
+			aij := row[enter]
+			if aij <= opt.Tol {
+				continue
+			}
+			ratio := row[t.width] / aij
+			if ratio < bestRatio-opt.Tol ||
+				(useBland && math.Abs(ratio-bestRatio) <= opt.Tol && leave >= 0 && t.basis[i] < t.basis[leave]) {
+				bestRatio, leave = ratio, i
+			}
+		}
+		if leave == -1 {
+			return ErrUnbounded
+		}
+		if bestRatio <= opt.Tol {
+			degenerate++
+			if degenerate > 2*(t.m+t.n) {
+				useBland = true
+			}
+		} else {
+			degenerate = 0
+		}
+		t.pivot(leave, enter)
+	}
+	return ErrIterLimit
+}
+
+func (t *tableau) runPhase1(opt Options) error {
+	// Objective: sum of artificial variables.
+	c := make([]float64, t.width)
+	for j := t.n; j < t.width; j++ {
+		c[j] = 1
+	}
+	t.setObjective(c, t.width)
+	if err := t.iterate(t.width, opt); err != nil {
+		return err
+	}
+	// -cost[width] is the phase-1 objective value.
+	if obj := -t.cost[t.width]; obj > 1e-6 {
+		return ErrInfeasible
+	}
+	// Drive any artificial variables remaining in the basis out (they are
+	// at value ~0); if a row has no structural pivot it is redundant and
+	// can stay — its basic artificial is zero and never re-enters because
+	// phase 2 restricts columns to structural ones... except the leaving
+	// rule can pull it negative. Safer: pivot them out where possible.
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n {
+			continue
+		}
+		row := t.row(i)
+		for j := 0; j < t.n; j++ {
+			if math.Abs(row[j]) > 1e-7 {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func (t *tableau) runPhase2(c []float64, opt Options) ([]float64, float64, error) {
+	t.setObjective(c, t.n)
+	// Forbid artificial columns from re-entering by restricting pivots to
+	// structural columns.
+	if err := t.iterate(t.n, opt); err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, t.n)
+	for i, bi := range t.basis {
+		if bi < t.n {
+			x[bi] = t.row(i)[t.width]
+		}
+	}
+	obj := 0.0
+	for j, cj := range c {
+		obj += cj * x[j]
+	}
+	return x, obj, nil
+}

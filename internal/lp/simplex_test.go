@@ -1,0 +1,190 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/xrand"
+)
+
+func solveOrDie(t *testing.T, p Problem) ([]float64, float64) {
+	t.Helper()
+	x, obj, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return x, obj
+}
+
+func TestSimpleEquality(t *testing.T) {
+	// min x1 + x2  s.t.  x1 + x2 = 1, x ≥ 0 → obj 1.
+	p := Problem{M: 1, N: 2, A: []float64{1, 1}, B: []float64{1}, C: []float64{1, 1}}
+	x, obj := solveOrDie(t, p)
+	if math.Abs(obj-1) > 1e-8 {
+		t.Fatalf("obj = %v", obj)
+	}
+	if math.Abs(x[0]+x[1]-1) > 1e-8 {
+		t.Fatalf("constraint violated: %v", x)
+	}
+}
+
+func TestPrefersCheapVariable(t *testing.T) {
+	// min 3x1 + x2  s.t.  x1 + x2 = 4 → x = (0,4), obj 4.
+	p := Problem{M: 1, N: 2, A: []float64{1, 1}, B: []float64{4}, C: []float64{3, 1}}
+	x, obj := solveOrDie(t, p)
+	if math.Abs(obj-4) > 1e-8 || math.Abs(x[1]-4) > 1e-8 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestTwoConstraints(t *testing.T) {
+	// min x1+2x2+3x3 s.t. x1+x2 = 2; x2+x3 = 3.
+	// Candidates: x2=2,x3=1 → 7; x1=2,x2=0,x3=3 → 11; optimum 7.
+	p := Problem{
+		M: 2, N: 3,
+		A: []float64{1, 1, 0, 0, 1, 1},
+		B: []float64{2, 3},
+		C: []float64{1, 2, 3},
+	}
+	_, obj := solveOrDie(t, p)
+	if math.Abs(obj-7) > 1e-8 {
+		t.Fatalf("obj = %v, want 7", obj)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x1 = -5 → x1 = 5.
+	p := Problem{M: 1, N: 1, A: []float64{-1}, B: []float64{-5}, C: []float64{1}}
+	x, obj := solveOrDie(t, p)
+	if math.Abs(x[0]-5) > 1e-8 || math.Abs(obj-5) > 1e-8 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x1 = 1 and x1 = 2 simultaneously.
+	p := Problem{M: 2, N: 1, A: []float64{1, 1}, B: []float64{1, 2}, C: []float64{1}}
+	if _, _, err := Solve(p, Options{}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x1 s.t. x1 - x2 = 0: x1 = x2 → can grow without bound.
+	p := Problem{M: 1, N: 2, A: []float64{1, -1}, B: []float64{0}, C: []float64{-1, 0}}
+	if _, _, err := Solve(p, Options{}); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	if _, _, err := Solve(Problem{M: 1, N: 1, A: []float64{math.NaN()}, B: []float64{1}, C: []float64{1}}, Options{}); err == nil {
+		t.Fatal("NaN input accepted")
+	}
+	if _, _, err := Solve(Problem{M: 1, N: 2, A: []float64{1}, B: []float64{1}, C: []float64{1, 1}}, Options{}); err == nil {
+		t.Fatal("mis-sized A accepted")
+	}
+}
+
+func TestRedundantConstraint(t *testing.T) {
+	// Same constraint twice: must still solve.
+	p := Problem{
+		M: 2, N: 2,
+		A: []float64{1, 1, 1, 1},
+		B: []float64{2, 2},
+		C: []float64{1, 3},
+	}
+	x, obj := solveOrDie(t, p)
+	if math.Abs(obj-2) > 1e-8 || math.Abs(x[0]-2) > 1e-8 {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+// TestL1MinimizationRandom validates the solver on the exact problem
+// shape Basis Pursuit produces: min Σ(u+v) s.t. [Φ,−Φ][u;v] = y where
+// y = Φx0 for a sparse x0. With M sufficiently larger than the sparsity,
+// BP recovers x0 exactly (Candes–Tao), so the LP optimum must equal ‖x0‖₁.
+func TestL1MinimizationRandom(t *testing.T) {
+	r := xrand.New(42)
+	const n, m, s = 40, 25, 3
+	for trial := 0; trial < 5; trial++ {
+		phi := make([]float64, m*n)
+		for i := range phi {
+			phi[i] = r.NormFloat64() / math.Sqrt(m)
+		}
+		x0 := make([]float64, n)
+		for i := 0; i < s; i++ {
+			x0[r.Intn(n)] = 1 + 5*r.Float64()
+		}
+		y := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				y[i] += phi[i*n+j] * x0[j]
+			}
+		}
+		// Build the BP LP over [u; v].
+		a := make([]float64, m*2*n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a[i*2*n+j] = phi[i*n+j]
+				a[i*2*n+n+j] = -phi[i*n+j]
+			}
+		}
+		c := make([]float64, 2*n)
+		for j := range c {
+			c[j] = 1
+		}
+		x, obj, err := Solve(Problem{M: m, N: 2 * n, A: a, B: y, C: c}, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		norm1 := 0.0
+		for _, v := range x0 {
+			norm1 += math.Abs(v)
+		}
+		if math.Abs(obj-norm1) > 1e-5*math.Max(1, norm1) {
+			t.Fatalf("trial %d: BP objective %v, want ‖x0‖₁ = %v", trial, obj, norm1)
+		}
+		// And the recovered vector matches x0.
+		for j := 0; j < n; j++ {
+			got := x[j] - x[n+j]
+			if math.Abs(got-x0[j]) > 1e-5 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, j, got, x0[j])
+			}
+		}
+	}
+}
+
+func BenchmarkSimplexBPShape(b *testing.B) {
+	r := xrand.New(1)
+	const n, m = 60, 30
+	phi := make([]float64, m*n)
+	for i := range phi {
+		phi[i] = r.NormFloat64()
+	}
+	x0 := make([]float64, n)
+	x0[3], x0[17] = 2, -1
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			y[i] += phi[i*n+j] * x0[j]
+		}
+	}
+	a := make([]float64, m*2*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a[i*2*n+j] = phi[i*n+j]
+			a[i*2*n+n+j] = -phi[i*n+j]
+		}
+	}
+	c := make([]float64, 2*n)
+	for j := range c {
+		c[j] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(Problem{M: m, N: 2 * n, A: a, B: y, C: c}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+)
+
+// countJob emits one fixed tuple per Map call.
+type countJob struct{}
+
+func (countJob) Map(split []Record, emit func(KV)) error {
+	emit(KV{Key: "kkkk", Value: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	return nil
+}
+func (countJob) Reduce(key string, values [][]byte, emit func(KV)) error {
+	emit(KV{Key: key, Value: []byte{byte(len(values))}})
+	return nil
+}
+
+func TestRepresentsScalesVolumes(t *testing.T) {
+	base := []Split{{Records: []Record{{Key: "a", Value: 1}}, Bytes: 1000, Represents: 1}}
+	scaled := []Split{{Records: []Record{{Key: "a", Value: 1}}, Bytes: 1000, Represents: 7}}
+	cfg := Config{Reducers: 1}
+
+	_, m1, err := Run(countJob{}, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m7, err := Run(countJob{}, scaled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m7.MapTasks != 7 || m1.MapTasks != 1 {
+		t.Fatalf("MapTasks = %d / %d", m1.MapTasks, m7.MapTasks)
+	}
+	if m7.MapOutputBytes != 7*m1.MapOutputBytes {
+		t.Fatalf("MapOutputBytes = %d, want 7×%d", m7.MapOutputBytes, m1.MapOutputBytes)
+	}
+	if m7.MapOutputTuples != 7*m1.MapOutputTuples {
+		t.Fatalf("MapOutputTuples = %d, want 7×%d", m7.MapOutputTuples, m1.MapOutputTuples)
+	}
+	// Total charged input is the split's Bytes either way.
+	if m1.InputBytes != 1000 || m7.InputBytes != 1000 {
+		t.Fatalf("InputBytes = %d / %d", m1.InputBytes, m7.InputBytes)
+	}
+	// With one map slot the seven modeled tasks serialize.
+	slotCfg := Config{Reducers: 1, MapSlots: 1, Cost: CostModel{
+		DiskBandwidth: 1e9, NetBandwidth: 1e9, TaskOverhead: 100 * time.Millisecond,
+	}}
+	_, mSer, err := Run(countJob{}, scaled, slotCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mSer.MapTime < 7*100*time.Millisecond {
+		t.Fatalf("serialized map time %v < 7 task overheads", mSer.MapTime)
+	}
+}
+
+func TestRepresentsDefaultsToOne(t *testing.T) {
+	s := Split{Bytes: 10}
+	if s.represents() != 1 {
+		t.Fatalf("represents() = %d", s.represents())
+	}
+	s.Represents = -3
+	if s.represents() != 1 {
+		t.Fatalf("negative represents() = %d", s.represents())
+	}
+}
+
+func TestReduceSideScalesWithMultiplicity(t *testing.T) {
+	// Reduce merge volume scales by the tuple multiplicity, inflating
+	// the modeled reduce time.
+	mk := func(rep int) *Metrics {
+		splits := []Split{{Records: []Record{{Key: "a", Value: 1}}, Bytes: 100, Represents: rep}}
+		_, met, err := Run(countJob{}, splits, Config{Reducers: 1, Cost: CostModel{
+			DiskBandwidth: 1e6, NetBandwidth: 1e6, TupleCPU: time.Millisecond,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+	small, big := mk(1), mk(50)
+	if big.ReduceTime <= small.ReduceTime {
+		t.Fatalf("reduce time did not scale: %v vs %v", small.ReduceTime, big.ReduceTime)
+	}
+	if big.ShuffleTime <= small.ShuffleTime {
+		t.Fatalf("shuffle time did not scale: %v vs %v", small.ShuffleTime, big.ShuffleTime)
+	}
+}

@@ -1,0 +1,202 @@
+package queries
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"csoutlier/internal/xrand"
+)
+
+// materialize expands a Recovered into the full N-vector for
+// brute-force cross-checks.
+func materialize(r *Recovered) []float64 {
+	x := make([]float64, r.N)
+	for i := range x {
+		x[i] = r.Mode
+	}
+	for i, j := range r.Support {
+		x[j] = r.Values[i]
+	}
+	return x
+}
+
+func sample() *Recovered {
+	return &Recovered{
+		N:       10,
+		Mode:    5,
+		Support: []int{2, 7, 9},
+		Values:  []float64{100, -50, 7},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Recovered{
+		{N: 0},
+		{N: 3, Support: []int{0}, Values: nil},
+		{N: 3, Support: []int{3}, Values: []float64{1}},
+		{N: 3, Support: []int{-1}, Values: []float64{1}},
+		{N: 3, Support: []int{1, 1}, Values: []float64{1, 2}},
+		{N: 1, Support: []int{0, 0}, Values: []float64{1, 2}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("bad case %d accepted", i)
+		}
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	r := sample()
+	want := 0.0
+	for _, v := range materialize(r) {
+		want += v
+	}
+	if got := Sum(r); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	if got := Mean(r); math.Abs(got-want/10) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestPercentileAgainstBruteForce(t *testing.T) {
+	r := sample()
+	x := materialize(r)
+	sort.Float64s(x)
+	for _, q := range []float64{0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1} {
+		got, err := Percentile(r, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank := int(math.Ceil(q * float64(r.N)))
+		if rank < 1 {
+			rank = 1
+		}
+		want := x[rank-1]
+		if got != want {
+			t.Fatalf("q=%v: got %v, want %v", q, got, want)
+		}
+	}
+	if _, err := Percentile(r, -0.1); err == nil {
+		t.Fatal("q<0 accepted")
+	}
+	if _, err := Percentile(r, 1.1); err == nil {
+		t.Fatal("q>1 accepted")
+	}
+}
+
+func TestPercentileProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 5 + rng.Intn(50)
+		s := rng.Intn(n)
+		r := &Recovered{N: n, Mode: float64(rng.Intn(100))}
+		perm := rng.Perm(n)
+		for i := 0; i < s; i++ {
+			r.Support = append(r.Support, perm[i])
+			r.Values = append(r.Values, float64(rng.Intn(200)-100))
+		}
+		x := materialize(r)
+		sort.Float64s(x)
+		for _, q := range []float64{0, 0.3, 0.5, 0.9, 1} {
+			got, err := Percentile(r, q)
+			if err != nil {
+				return false
+			}
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			if got != x[rank-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKBottomK(t *testing.T) {
+	r := sample()
+	top := TopK(r, 3)
+	if len(top) != 3 || top[0].Value != 100 || top[1].Value != 7 || top[2].Value != 5 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if top[0].Index != 2 || top[1].Index != 9 || top[2].Index != -1 {
+		t.Fatalf("TopK indices = %v", top)
+	}
+	bot := BottomK(r, 2)
+	if len(bot) != 2 || bot[0].Value != -50 || bot[1].Value != 5 {
+		t.Fatalf("BottomK = %v", bot)
+	}
+	if TopK(r, 0) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestTopKModeBlockExpansion(t *testing.T) {
+	// k reaching deep into the mode block must emit repeated mode
+	// entries, not run dry.
+	r := &Recovered{N: 5, Mode: 10, Support: []int{0}, Values: []float64{99}}
+	top := TopK(r, 4)
+	if len(top) != 4 {
+		t.Fatalf("TopK len = %d", len(top))
+	}
+	for _, e := range top[1:] {
+		if e.Value != 10 || e.Index != -1 {
+			t.Fatalf("TopK = %v", top)
+		}
+	}
+	// k > N clamps.
+	if got := TopK(r, 99); len(got) != 5 {
+		t.Fatalf("clamp failed: %d", len(got))
+	}
+}
+
+func TestTopKBruteForceProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(30)
+		s := rng.Intn(n + 1)
+		r := &Recovered{N: n, Mode: float64(rng.Intn(20))}
+		perm := rng.Perm(n)
+		for i := 0; i < s; i++ {
+			r.Support = append(r.Support, perm[i])
+			r.Values = append(r.Values, float64(rng.Intn(100)-50))
+		}
+		k := 1 + rng.Intn(n)
+		x := materialize(r)
+		sort.Sort(sort.Reverse(sort.Float64Slice(x)))
+		top := TopK(r, k)
+		if len(top) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if top[i].Value != x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	if got := Range(sample()); got != 150 {
+		t.Fatalf("Range = %v", got)
+	}
+	// All entries on support: mode must not leak into extremes.
+	r := &Recovered{N: 2, Mode: 1e9, Support: []int{0, 1}, Values: []float64{3, 10}}
+	if got := Range(r); got != 7 {
+		t.Fatalf("full-support Range = %v", got)
+	}
+}

@@ -1,0 +1,59 @@
+package recovery
+
+import (
+	"fmt"
+	"math"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/lp"
+	"csoutlier/internal/sensing"
+)
+
+// BP recovers a sparse-at-zero vector by Basis Pursuit (paper §2.2):
+//
+//	minimize ‖x‖₁  subject to  y = Φ₀·x,
+//
+// transformed into the standard-form LP over the split x = u − v, u,v ≥ 0:
+//
+//	minimize Σ(u+v)  subject to  [Φ₀, −Φ₀]·[u; v] = y.
+//
+// The paper prefers OMP over BP for the outlier problem (speed, and
+// OMP's greediness surfaces the significant components first); BP is
+// kept as the reference convex-relaxation baseline. Complexity is
+// polynomial but heavy — use on moderate N only.
+func BP(m sensing.Matrix, y linalg.Vector) (*Result, error) {
+	p := m.Params()
+	if len(y) != p.M {
+		return nil, fmt.Errorf("%w: len(y)=%d, M=%d", ErrDimension, len(y), p.M)
+	}
+	n2 := 2 * p.N
+	a := make([]float64, p.M*n2)
+	col := make(linalg.Vector, p.M)
+	for j := 0; j < p.N; j++ {
+		m.Col(j, col)
+		for i := 0; i < p.M; i++ {
+			a[i*n2+j] = col[i]
+			a[i*n2+p.N+j] = -col[i]
+		}
+	}
+	c := make([]float64, n2)
+	for j := range c {
+		c[j] = 1
+	}
+	sol, _, err := lp.Solve(lp.Problem{M: p.M, N: n2, A: a, B: y, C: c}, lp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("recovery: basis pursuit LP: %w", err)
+	}
+	res := &Result{X: make(linalg.Vector, p.N)}
+	for j := 0; j < p.N; j++ {
+		v := sol[j] - sol[p.N+j]
+		if math.Abs(v) < 1e-8 {
+			continue
+		}
+		res.X[j] = v
+		res.Support = append(res.Support, j)
+		res.Coef = append(res.Coef, v)
+	}
+	res.Iterations = len(res.Support)
+	return res, nil
+}

@@ -1,0 +1,129 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+func TestCoSaMPExactRecovery(t *testing.T) {
+	r := xrand.New(21)
+	const n, m, s = 256, 100, 8
+	d := dense(t, m, n, 41)
+	x, want := biasedSparse(r, n, s, 0, 1, 10)
+	y := d.Measure(x, nil)
+	res, err := CoSaMP(d, y, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !supportEqual(res.Support, want) {
+		t.Fatalf("support = %v, want %v", res.Support, want)
+	}
+	if !res.X.Equal(x, 1e-6) {
+		t.Fatal("recovered vector mismatch")
+	}
+}
+
+func TestBiasedCoSaMPRecoversBias(t *testing.T) {
+	r := xrand.New(22)
+	const n, m, s = 256, 110, 8
+	const bias = 5000.0
+	d := dense(t, m, n, 42)
+	x, want := biasedSparse(r, n, s, bias, 100, 1000)
+	y := d.Measure(x, nil)
+	res, err := BiasedCoSaMP(d, y, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mode-bias) > 1e-3*bias {
+		t.Fatalf("mode = %v, want %v", res.Mode, bias)
+	}
+	if !supportEqual(res.Support, want) {
+		t.Fatalf("support = %v, want %v", res.Support, want)
+	}
+}
+
+func TestCoSaMPMatchesOMPOnExactInstances(t *testing.T) {
+	r := xrand.New(23)
+	const n, m, s = 180, 90, 5
+	d := dense(t, m, n, 43)
+	for trial := 0; trial < 5; trial++ {
+		x, _ := biasedSparse(r, n, s, 0, 2, 9)
+		y := d.Measure(x, nil)
+		a, err := OMP(d, y, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CoSaMP(d, y, s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.X.Equal(b.X, 1e-5) {
+			t.Fatalf("trial %d: OMP and CoSaMP disagree", trial)
+		}
+	}
+}
+
+func TestCoSaMPValidation(t *testing.T) {
+	d := dense(t, 30, 60, 44)
+	y := make(linalg.Vector, 30)
+	if _, err := CoSaMP(d, y, 0, Options{}); err == nil {
+		t.Fatal("s=0 accepted")
+	}
+	if _, err := CoSaMP(d, make(linalg.Vector, 29), 2, Options{}); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+	// Zero measurement → zero vector, no error.
+	res, err := CoSaMP(d, y, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X.Norm2() != 0 {
+		t.Fatal("zero measurement produced nonzero recovery")
+	}
+}
+
+func TestCoSaMPClampsSparsityToM(t *testing.T) {
+	// s too large for the measurement: must clamp, not blow up.
+	r := xrand.New(24)
+	const n, m = 100, 30
+	d := dense(t, m, n, 45)
+	x, _ := biasedSparse(r, n, 3, 0, 1, 5)
+	y := d.Measure(x, nil)
+	res, err := CoSaMP(d, y, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Support) > m/3 {
+		t.Fatalf("support size %d exceeds M/3", len(res.Support))
+	}
+}
+
+func TestTopAbsIndices(t *testing.T) {
+	v := linalg.Vector{1, -9, 3, 0, 9}
+	got := topAbsIndices(v, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("topAbsIndices = %v", got)
+	}
+	if got := topAbsIndices(v, 99); len(got) != len(v) {
+		t.Fatalf("k>len = %v", got)
+	}
+}
+
+func TestMergeSupports(t *testing.T) {
+	got := mergeSupports([]int{1, 3, 5}, []int{2, 3, 6})
+	want := []int{1, 2, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("mergeSupports = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeSupports = %v, want %v", got, want)
+		}
+	}
+	if got := mergeSupports(nil, []int{1}); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("nil merge = %v", got)
+	}
+}

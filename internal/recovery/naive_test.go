@@ -1,0 +1,47 @@
+package recovery
+
+import (
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+func TestNaiveOMPMatchesOMP(t *testing.T) {
+	r := xrand.New(1)
+	const n, m, s = 200, 80, 6
+	d := dense(t, m, n, 31)
+	x, want := biasedSparse(r, n, s, 0, 1, 10)
+	y := d.Measure(x, nil)
+	fast, err := OMP(d, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveOMP(d, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !supportEqual(naive.Support, sortedCopy(fast.Support)) {
+		t.Fatalf("supports differ: naive %v, qr %v", naive.Support, fast.Support)
+	}
+	if !naive.X.Equal(fast.X, 1e-6) {
+		t.Fatal("recovered vectors differ")
+	}
+	if !supportEqual(naive.Support, want) {
+		t.Fatalf("naive missed the truth: %v vs %v", naive.Support, want)
+	}
+}
+
+func TestNaiveOMPZeroMeasurement(t *testing.T) {
+	d := dense(t, 20, 50, 32)
+	res, err := NaiveOMP(d, make(linalg.Vector, 20), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Support) != 0 {
+		t.Fatalf("support = %v", res.Support)
+	}
+	if _, err := NaiveOMP(d, make(linalg.Vector, 19), Options{}); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+}

@@ -1,0 +1,376 @@
+// Package recovery implements the sparse-recovery algorithms the paper's
+// aggregator runs on the global measurement: standard Orthogonal Matching
+// Pursuit (OMP, §2.2 / Algorithm 2), the paper's new Biased OMP (BOMP,
+// §3.2 / Algorithm 1) that additionally recovers the unknown mode the
+// data concentrates around, OMP with an externally known mode (the
+// baseline of Figure 4a), and Basis Pursuit (BP) via linear programming.
+//
+// All algorithms share one greedy engine: per iteration, correlate every
+// dictionary column with the current residual, select the column with the
+// largest |inner product|, append it to an incrementally maintained QR
+// factorization, and re-project. The engine also implements the paper's
+// §5 production fix — "terminate the recovery process once the residual
+// stops decreasing" — which guards against Gram–Schmidt floating-point
+// drift at high iteration counts.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/sensing"
+)
+
+// Options tunes the greedy recovery engine.
+type Options struct {
+	// MaxIterations is the iteration budget R. The paper tunes
+	// R = f(k) ∈ [2k, 5k] for k-outlier queries (§5). 0 means
+	// min(M, N+1): run until the measurement is exhausted.
+	MaxIterations int
+
+	// ResidualTol stops the loop once ‖r‖₂ ≤ ResidualTol·‖y‖₂.
+	// 0 means 1e-9 (exact recovery territory).
+	ResidualTol float64
+
+	// DisableEarlyStop turns off the residual-stall cutoff from §5.
+	// Only the ablation benches set this; production keeps it on.
+	DisableEarlyStop bool
+
+	// StallRelTol is the relative per-iteration residual improvement
+	// below which the §5 early stop fires: the loop halts when
+	// ‖r_t‖ ≥ ‖r_{t−1}‖·(1 − StallRelTol). The default 0 means 1e-12 —
+	// only a numerically flat residual stops the loop.
+	//
+	// Note this guards against floating-point drift, not against noise:
+	// greedy selection always finds the dictionary column MOST
+	// correlated with a noise residual, so noise-fitting iterations
+	// still improve the residual by ≈ √(2·ln N / (M−k)) per step and
+	// never look stalled. For sketches carrying measurement noise, set
+	// ResidualTol to the (relative) noise floor instead — the loop then
+	// stops exactly when the signal is exhausted.
+	StallRelTol float64
+
+	// TraceMode records the mode estimate after every iteration
+	// (Figures 4b and 9). It costs one k×k back-substitution per
+	// iteration.
+	TraceMode bool
+
+	// TraceResidual records ‖r‖₂ after every iteration.
+	TraceResidual bool
+}
+
+func (o Options) residualTol() float64 {
+	if o.ResidualTol == 0 {
+		return 1e-9
+	}
+	return o.ResidualTol
+}
+
+func (o Options) stallRelTol() float64 {
+	if o.StallRelTol == 0 {
+		return 1e-12
+	}
+	return o.StallRelTol
+}
+
+// Result is the output of a recovery run.
+type Result struct {
+	// X is the recovered N-length data vector: the mode everywhere except
+	// on the recovered support.
+	X linalg.Vector
+	// Mode is the recovered bias b (BOMP), the supplied bias (known-mode
+	// OMP), or 0 (plain OMP).
+	Mode float64
+	// Support lists the recovered outlier positions (data-space indices,
+	// 0-based; the BOMP bias column is not included), in selection order —
+	// OMP greediness means earlier entries carry more energy.
+	Support []int
+	// Coef holds the recovered deviation from the mode for each entry of
+	// Support (X[Support[i]] = Mode + Coef[i]).
+	Coef []float64
+	// Iterations is the number of columns actually selected.
+	Iterations int
+	// StoppedEarly reports that the §5 residual-stall cutoff fired.
+	StoppedEarly bool
+	// ModeTrace, when requested, holds the mode estimate after each
+	// iteration.
+	ModeTrace []float64
+	// ResidualTrace, when requested, holds ‖r‖₂ after each iteration.
+	ResidualTrace []float64
+}
+
+// ErrDimension reports a measurement/matrix size mismatch.
+var ErrDimension = errors.New("recovery: measurement length does not match matrix")
+
+// BOMP recovers a data vector whose values concentrate around an unknown
+// bias b from the measurement y = Φ₀·x (paper Algorithm 1). It extends
+// the dictionary with φ₀ = (1/√N)Σφᵢ so that the bias becomes one more
+// sparse coefficient, runs OMP on the extended problem, and maps the
+// solution back: b = z₀/√N, x = z + b.
+func BOMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Result, error) {
+	p := m.Params()
+	if len(y) != p.M {
+		return nil, fmt.Errorf("%w: len(y)=%d, M=%d", ErrDimension, len(y), p.M)
+	}
+	d := &biasedDict{m: m, phi0: m.ExtensionColumn(nil)}
+	sel, coef, diag, err := greedy(d, y, p.M, opt, func(z linalg.Vector, idx []int) float64 {
+		return modeFromExtended(z, idx, p.N)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Iterations:    len(sel),
+		StoppedEarly:  diag.stalled,
+		ModeTrace:     diag.modeTrace,
+		ResidualTrace: diag.residualTrace,
+	}
+	// Split the bias coefficient from the outlier coefficients.
+	b := 0.0
+	for i, j := range sel {
+		if j == 0 {
+			b = coef[i] / math.Sqrt(float64(p.N))
+		} else {
+			res.Support = append(res.Support, j-1)
+			res.Coef = append(res.Coef, coef[i])
+		}
+	}
+	res.Mode = b
+	res.X = assemble(p.N, b, res.Support, res.Coef)
+	return res, nil
+}
+
+// OMP recovers a vector that is sparse at zero (paper §2.2) from
+// y = Φ₀·x. Mode is reported as 0.
+func OMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Result, error) {
+	p := m.Params()
+	if len(y) != p.M {
+		return nil, fmt.Errorf("%w: len(y)=%d, M=%d", ErrDimension, len(y), p.M)
+	}
+	d := &plainDict{m: m}
+	sel, coef, diag, err := greedy(d, y, p.M, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Support:       sel,
+		Coef:          coef,
+		Iterations:    len(sel),
+		StoppedEarly:  diag.stalled,
+		ResidualTrace: diag.residualTrace,
+	}
+	res.X = assemble(p.N, 0, sel, coef)
+	return res, nil
+}
+
+// KnownModeOMP recovers a vector known to concentrate around the given
+// mode: it cancels the bias contribution b·Φ₀·1 = b·√N·φ₀ from the
+// measurement, runs plain OMP on the now sparse-at-zero residual signal,
+// and adds the bias back. This is the "OMP + known mode" baseline of
+// Figure 4(a); the paper notes that learning b externally costs an extra
+// 2s+1 values of communication, which BOMP avoids.
+func KnownModeOMP(m sensing.Matrix, y linalg.Vector, mode float64, opt Options) (*Result, error) {
+	p := m.Params()
+	if len(y) != p.M {
+		return nil, fmt.Errorf("%w: len(y)=%d, M=%d", ErrDimension, len(y), p.M)
+	}
+	shifted := y.Clone()
+	phi0 := m.ExtensionColumn(nil)
+	shifted.AddScaled(-mode*math.Sqrt(float64(p.N)), phi0)
+	res, err := OMP(m, shifted, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Mode = mode
+	for i := range res.X {
+		res.X[i] += mode
+	}
+	return res, nil
+}
+
+// assemble builds the full recovered vector from the mode and the
+// (support, deviation) pairs.
+func assemble(n int, mode float64, support []int, coef []float64) linalg.Vector {
+	x := make(linalg.Vector, n)
+	if mode != 0 {
+		x.Fill(mode)
+	}
+	for i, j := range support {
+		x[j] = mode + coef[i]
+	}
+	return x
+}
+
+// modeFromExtended extracts the running mode estimate b = z₀/√N from the
+// extended-coefficient vector (paper Algorithm 1 step 3). idx maps each
+// coefficient to its extended-dictionary column; column 0 is the bias.
+func modeFromExtended(z linalg.Vector, idx []int, n int) float64 {
+	for i, j := range idx {
+		if j == 0 {
+			return z[i] / math.Sqrt(float64(n))
+		}
+	}
+	return 0
+}
+
+// dictionary is the greedy engine's view of the measurement matrix:
+// an indexed set of unit-scale columns.
+type dictionary interface {
+	size() int
+	col(j int, dst linalg.Vector) linalg.Vector
+	// correlate fills dst[j] = <column j, r> for all j.
+	correlate(r, dst linalg.Vector) linalg.Vector
+}
+
+// plainDict exposes Φ₀ as-is.
+type plainDict struct{ m sensing.Matrix }
+
+func (d *plainDict) size() int { return d.m.Params().N }
+func (d *plainDict) col(j int, dst linalg.Vector) linalg.Vector {
+	return d.m.Col(j, dst)
+}
+func (d *plainDict) correlate(r, dst linalg.Vector) linalg.Vector {
+	return d.m.Correlate(r, dst)
+}
+
+// biasedDict exposes the extended matrix Φ = [φ₀, Φ₀] (paper eq. 2):
+// column 0 is the bias column, column j+1 is φ_j.
+type biasedDict struct {
+	m    sensing.Matrix
+	phi0 linalg.Vector
+}
+
+func (d *biasedDict) size() int { return d.m.Params().N + 1 }
+func (d *biasedDict) col(j int, dst linalg.Vector) linalg.Vector {
+	if j == 0 {
+		if cap(dst) < len(d.phi0) {
+			dst = make(linalg.Vector, len(d.phi0))
+		}
+		dst = dst[:len(d.phi0)]
+		copy(dst, d.phi0)
+		return dst
+	}
+	return d.m.Col(j-1, dst)
+}
+func (d *biasedDict) correlate(r, dst linalg.Vector) linalg.Vector {
+	n := d.m.Params().N
+	if cap(dst) < n+1 {
+		dst = make(linalg.Vector, n+1)
+	}
+	dst = dst[:n+1]
+	d.m.Correlate(r, dst[1:])
+	dst[0] = d.phi0.Dot(r)
+	return dst
+}
+
+type diagnostics struct {
+	stalled       bool
+	modeTrace     []float64
+	residualTrace []float64
+}
+
+// greedy is the shared OMP column-selection loop (paper Algorithm 2).
+// It returns the selected column indices (in selection order) and their
+// least-squares coefficients. modeFn, when non-nil and opt.TraceMode is
+// set, converts the running coefficients into a mode estimate per
+// iteration.
+func greedy(d dictionary, y linalg.Vector, m int, opt Options,
+	modeFn func(z linalg.Vector, idx []int) float64) ([]int, []float64, diagnostics, error) {
+
+	var diag diagnostics
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 || maxIter > m {
+		maxIter = m
+	}
+	if maxIter > d.size() {
+		maxIter = d.size()
+	}
+
+	qr := linalg.NewIncrementalQR(m)
+	qr.SetTarget(y)
+	yNorm := y.Norm2()
+	if yNorm == 0 {
+		return nil, nil, diag, nil // zero measurement: zero vector
+	}
+	tol := opt.residualTol() * yNorm
+
+	var (
+		selected []int
+		inBasis  = make(map[int]bool, maxIter)
+		excluded = make(map[int]bool)
+		residual = y.Clone()
+		corr     linalg.Vector
+		colBuf   linalg.Vector
+		prevNorm = yNorm
+	)
+	for len(selected) < maxIter {
+		corr = d.correlate(residual, corr)
+		// Mask out columns already in (or rejected from) the basis.
+		for j := range inBasis {
+			corr[j] = 0
+		}
+		for j := range excluded {
+			corr[j] = 0
+		}
+		best, bestAbs := corr.ArgMaxAbs()
+		if best < 0 || bestAbs <= 1e-14*yNorm {
+			break // nothing correlates: residual is (numerically) zero
+		}
+		colBuf = d.col(best, colBuf)
+		if _, err := qr.Append(colBuf); err != nil {
+			if errors.Is(err, linalg.ErrRankDeficient) {
+				// Column numerically inside current span; never pick it again.
+				excluded[best] = true
+				continue
+			}
+			return nil, nil, diag, err
+		}
+		selected = append(selected, best)
+		inBasis[best] = true
+
+		residual = qr.Residual(residual)
+		norm := qr.ResidualNorm()
+		if opt.TraceResidual {
+			diag.residualTrace = append(diag.residualTrace, norm)
+		}
+		if opt.TraceMode && modeFn != nil {
+			z, err := qr.Solve()
+			if err != nil {
+				return nil, nil, diag, err
+			}
+			diag.modeTrace = append(diag.modeTrace, modeFn(z, selected))
+		}
+		if norm <= tol {
+			break
+		}
+		// §5: floating-point drift makes the residual stop decreasing long
+		// before the iteration budget on real data; cut the run there.
+		if !opt.DisableEarlyStop && norm >= prevNorm*(1-opt.stallRelTol()) {
+			diag.stalled = true
+			break
+		}
+		prevNorm = norm
+	}
+	if len(selected) == 0 {
+		return nil, nil, diag, nil
+	}
+	z, err := qr.Solve()
+	if err != nil {
+		return nil, nil, diag, err
+	}
+	return selected, z, diag, nil
+}
+
+// IterationBudget returns the paper's recommended iteration count
+// R = f(k) for a k-outlier query (§5: "R ∈ [2k, 5k] is good enough for
+// both recovery accuracy and efficiency"). The midpoint 3k+1 leaves one
+// iteration for the bias column.
+func IterationBudget(k int) int {
+	if k < 1 {
+		k = 1
+	}
+	return 3*k + 1
+}

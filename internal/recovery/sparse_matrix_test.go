@@ -1,0 +1,66 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/xrand"
+)
+
+// The recovery algorithms are ensemble-agnostic: they only touch the
+// dictionary through Col/Correlate. Verify BOMP works end to end with
+// the sparse Rademacher ensemble (§3.1's "additional compression"
+// extension), which trades some RIP quality for O(D) measurement cost.
+func TestBOMPWithSparseRademacher(t *testing.T) {
+	r := xrand.New(61)
+	const n, m, s = 300, 140, 6
+	const bias = 1800.0
+	sp, err := sensing.NewSparseRademacher(sensing.Params{M: m, N: n, Seed: 62}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, want := biasedSparse(r, n, s, bias, 300, 2000)
+	y := sp.Measure(x, nil)
+	res, err := BOMP(sp, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mode-bias) > 0.02*bias {
+		t.Fatalf("mode = %v, want ≈%v", res.Mode, bias)
+	}
+	got := map[int]bool{}
+	for _, j := range res.Support {
+		got[j] = true
+	}
+	missed := 0
+	for _, j := range want {
+		if !got[j] {
+			missed++
+		}
+	}
+	if missed > 1 {
+		t.Fatalf("missed %d of %d planted outliers: support %v, want %v", missed, s, res.Support, want)
+	}
+}
+
+func TestOMPWithSparseRademacherExact(t *testing.T) {
+	r := xrand.New(63)
+	const n, m, s = 256, 120, 5
+	sp, err := sensing.NewSparseRademacher(sensing.Params{M: m, N: n, Seed: 64}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, want := biasedSparse(r, n, s, 0, 1, 10)
+	y := sp.Measure(x, nil)
+	res, err := OMP(sp, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !supportEqual(res.Support, want) {
+		t.Fatalf("support = %v, want %v", res.Support, want)
+	}
+	if !res.X.Equal(x, 1e-5) {
+		t.Fatal("recovered vector mismatch")
+	}
+}

@@ -1,0 +1,57 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/xrand"
+)
+
+// BOMP over the SRHT ensemble: the O(P log P) correlation path must
+// recover exactly like the Gaussian ensembles.
+func TestBOMPWithSRHT(t *testing.T) {
+	r := xrand.New(71)
+	const n, m, s = 300, 130, 6
+	const bias = 1800.0
+	mat, err := sensing.NewSRHT(sensing.Params{M: m, N: n, Seed: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, want := biasedSparse(r, n, s, bias, 300, 2000)
+	y := mat.Measure(x, nil)
+	res, err := BOMP(mat, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mode-bias) > 1e-3*bias {
+		t.Fatalf("mode = %v, want %v", res.Mode, bias)
+	}
+	if !supportEqual(res.Support, want) {
+		t.Fatalf("support = %v, want %v", res.Support, want)
+	}
+	if !res.X.Equal(x, 1e-3) {
+		t.Fatal("recovered vector mismatch")
+	}
+}
+
+func TestOMPWithSRHTExact(t *testing.T) {
+	r := xrand.New(73)
+	const n, m, s = 256, 100, 7
+	mat, err := sensing.NewSRHT(sensing.Params{M: m, N: n, Seed: 74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, want := biasedSparse(r, n, s, 0, 1, 10)
+	y := mat.Measure(x, nil)
+	res, err := OMP(mat, y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !supportEqual(res.Support, want) {
+		t.Fatalf("support = %v, want %v", res.Support, want)
+	}
+	if !res.X.Equal(x, 1e-6) {
+		t.Fatal("recovered vector mismatch")
+	}
+}

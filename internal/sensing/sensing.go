@@ -1,0 +1,305 @@
+// Package sensing implements the compressive-sensing measurement step of
+// the paper's distributed aggregation paradigm (§3.1).
+//
+// Every node derives the same M×N measurement matrix Φ₀ from a shared
+// (seed, M, N) triple — entries are i.i.d. N(0, 1/M), the ensemble the
+// paper's Theorem 1 assumes — measures its local slice y_l = Φ₀·x_l, and
+// ships only the M-vector y_l. Because measurement is linear, the
+// aggregator's sum Σy_l equals Φ₀·Σx_l: the sketch of the global
+// aggregate, computed without ever materializing it.
+//
+// Two interchangeable matrix representations are provided:
+//
+//   - Dense stores all M·N entries; fastest for repeated recovery on
+//     moderate N (the paper's production queries have N ≈ 10K).
+//   - Seeded stores nothing but the parameters and regenerates any column
+//     on demand in O(M); this is what makes the key-scaling experiment
+//     (Figure 12, N up to 5M) feasible in bounded memory, and it is also
+//     how thousands of independent mapper processes can agree on Φ₀
+//     without distributing it.
+//
+// Both derive column j from the same per-column PRNG sub-stream, so they
+// produce bit-identical matrices for equal parameters — tested, because
+// the protocol's correctness depends on it.
+package sensing
+
+import (
+	"fmt"
+	"math"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+// Params identifies a measurement matrix. Nodes that share Params share
+// the matrix.
+type Params struct {
+	M    int    // measurement (sketch) length
+	N    int    // key-space (data vector) length
+	Seed uint64 // consensus seed
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.M <= 0 || p.N <= 0 {
+		return fmt.Errorf("sensing: non-positive dimensions M=%d N=%d", p.M, p.N)
+	}
+	return nil
+}
+
+// CompressionRatio returns M/N, the paper's compression ratio.
+func (p Params) CompressionRatio() float64 { return float64(p.M) / float64(p.N) }
+
+// Matrix is a measurement matrix Φ₀ with columns φ₁..φ_N.
+type Matrix interface {
+	// Params returns the identifying parameters.
+	Params() Params
+	// Col writes column j (0-based) into dst and returns it.
+	Col(j int, dst linalg.Vector) linalg.Vector
+	// Measure computes y = Φ₀·x for a dense data vector x of length N,
+	// writing into dst (allocated if nil).
+	Measure(x linalg.Vector, dst linalg.Vector) linalg.Vector
+	// MeasureSparse computes y = Σ vals[i]·φ_{idx[i]} for a sparse slice;
+	// indices may repeat (values accumulate).
+	MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector
+	// Correlate computes Φ₀ᵀ·r — the inner product of every column with
+	// r, the dominant cost of each OMP iteration.
+	Correlate(r linalg.Vector, dst linalg.Vector) linalg.Vector
+	// ExtensionColumn returns φ₀ = (1/√N)·Σφᵢ, the extra column BOMP
+	// prepends to represent the unknown bias (paper eq. 3).
+	ExtensionColumn(dst linalg.Vector) linalg.Vector
+}
+
+// fillColumn writes the canonical column j for params p into dst, which
+// must have length p.M. Entries are N(0, 1/M).
+func fillColumn(p Params, j int, dst linalg.Vector) {
+	rng := xrand.New(p.Seed).Split(uint64(j) + 1)
+	inv := 1 / math.Sqrt(float64(p.M))
+	for i := range dst {
+		dst[i] = rng.NormFloat64() * inv
+	}
+}
+
+// Dense is a fully materialized measurement matrix.
+type Dense struct {
+	p   Params
+	mat *linalg.Matrix // M×N row-major
+}
+
+// NewDense builds and stores the full matrix. Memory: M·N·8 bytes.
+func NewDense(p Params) (*Dense, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	mat := linalg.NewMatrix(p.M, p.N)
+	col := make(linalg.Vector, p.M)
+	for j := 0; j < p.N; j++ {
+		fillColumn(p, j, col)
+		for i := 0; i < p.M; i++ {
+			mat.Set(i, j, col[i])
+		}
+	}
+	return &Dense{p: p, mat: mat}, nil
+}
+
+// Params implements Matrix.
+func (d *Dense) Params() Params { return d.p }
+
+// Col implements Matrix.
+func (d *Dense) Col(j int, dst linalg.Vector) linalg.Vector { return d.mat.Col(j, dst) }
+
+// Measure implements Matrix.
+func (d *Dense) Measure(x, dst linalg.Vector) linalg.Vector {
+	if len(x) != d.p.N {
+		panic(fmt.Sprintf("sensing: Measure vector length %d, want N=%d", len(x), d.p.N))
+	}
+	return d.mat.MulVec(x, dst)
+}
+
+// MeasureSparse implements Matrix. For inputs that are not genuinely
+// sparse relative to N, the column-at-a-time walk over the row-major
+// storage is cache-hostile (stride N per element); scattering into a
+// dense vector and running the row-major MulVec is the same flop count
+// with sequential access, so it wins beyond a small density threshold.
+func (d *Dense) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
+	dst = ensure(dst, d.p.M)
+	if len(idx) > 64 && len(idx) > d.p.N/16 {
+		x := make(linalg.Vector, d.p.N)
+		for k, j := range idx {
+			x[j] += vals[k]
+		}
+		return d.mat.MulVec(x, dst)
+	}
+	for k, j := range idx {
+		v := vals[k]
+		if v == 0 {
+			continue
+		}
+		if j < 0 || j >= d.p.N {
+			// Explicit check: row-major indexing would otherwise alias a
+			// neighbouring row's entry instead of failing fast.
+			panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, d.p.N))
+		}
+		for i := 0; i < d.p.M; i++ {
+			dst[i] += v * d.mat.At(i, j)
+		}
+	}
+	return dst
+}
+
+// Correlate implements Matrix using the goroutine-parallel kernel.
+func (d *Dense) Correlate(r, dst linalg.Vector) linalg.Vector {
+	return d.mat.ParallelMulVecT(r, dst)
+}
+
+// CorrelateSerial is the single-threaded correlation, kept for the
+// parallel-correlation ablation bench.
+func (d *Dense) CorrelateSerial(r, dst linalg.Vector) linalg.Vector {
+	return d.mat.MulVecT(r, dst)
+}
+
+// ExtensionColumn implements Matrix.
+func (d *Dense) ExtensionColumn(dst linalg.Vector) linalg.Vector {
+	dst = ensure(dst, d.p.M)
+	for i := 0; i < d.p.M; i++ {
+		s := 0.0
+		row := d.mat.Row(i)
+		for _, v := range row {
+			s += v
+		}
+		dst[i] = s
+	}
+	return dst.Scale(1 / math.Sqrt(float64(d.p.N)))
+}
+
+// Seeded is a measurement matrix that regenerates columns on demand.
+// Memory: O(M) scratch. Every operation touching all N columns costs the
+// PRNG regeneration of M·N Gaussians; use Dense when the matrix fits.
+type Seeded struct {
+	p Params
+}
+
+// NewSeeded returns a column-regenerating matrix.
+func NewSeeded(p Params) (*Seeded, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Seeded{p: p}, nil
+}
+
+// Params implements Matrix.
+func (s *Seeded) Params() Params { return s.p }
+
+// Col implements Matrix.
+func (s *Seeded) Col(j int, dst linalg.Vector) linalg.Vector {
+	if j < 0 || j >= s.p.N {
+		panic(fmt.Sprintf("sensing: column %d out of [0,%d)", j, s.p.N))
+	}
+	dst = ensureExact(dst, s.p.M)
+	fillColumn(s.p, j, dst)
+	return dst
+}
+
+// Measure implements Matrix.
+func (s *Seeded) Measure(x, dst linalg.Vector) linalg.Vector {
+	if len(x) != s.p.N {
+		panic(fmt.Sprintf("sensing: Measure vector length %d, want N=%d", len(x), s.p.N))
+	}
+	dst = ensure(dst, s.p.M)
+	col := make(linalg.Vector, s.p.M)
+	for j, v := range x {
+		if v == 0 {
+			continue
+		}
+		fillColumn(s.p, j, col)
+		dst.AddScaled(v, col)
+	}
+	return dst
+}
+
+// MeasureSparse implements Matrix.
+func (s *Seeded) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
+	dst = ensure(dst, s.p.M)
+	col := make(linalg.Vector, s.p.M)
+	for k, j := range idx {
+		if vals[k] == 0 {
+			continue
+		}
+		if j < 0 || j >= s.p.N {
+			panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, s.p.N))
+		}
+		fillColumn(s.p, j, col)
+		dst.AddScaled(vals[k], col)
+	}
+	return dst
+}
+
+// Correlate implements Matrix by regenerating every column.
+func (s *Seeded) Correlate(r, dst linalg.Vector) linalg.Vector {
+	if len(r) != s.p.M {
+		panic(fmt.Sprintf("sensing: Correlate vector length %d, want M=%d", len(r), s.p.M))
+	}
+	dst = ensure(dst, s.p.N)
+	col := make(linalg.Vector, s.p.M)
+	for j := 0; j < s.p.N; j++ {
+		fillColumn(s.p, j, col)
+		dst[j] = col.Dot(r)
+	}
+	return dst
+}
+
+// ExtensionColumn implements Matrix.
+func (s *Seeded) ExtensionColumn(dst linalg.Vector) linalg.Vector {
+	dst = ensure(dst, s.p.M)
+	col := make(linalg.Vector, s.p.M)
+	for j := 0; j < s.p.N; j++ {
+		fillColumn(s.p, j, col)
+		dst.Add(col)
+	}
+	return dst.Scale(1 / math.Sqrt(float64(s.p.N)))
+}
+
+// ensure returns dst resized to n and zeroed.
+func ensure(dst linalg.Vector, n int) linalg.Vector {
+	if cap(dst) < n {
+		return make(linalg.Vector, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}
+
+// ensureExact returns dst resized to n without zeroing (callers overwrite).
+func ensureExact(dst linalg.Vector, n int) linalg.Vector {
+	if cap(dst) < n {
+		return make(linalg.Vector, n)
+	}
+	return dst[:n]
+}
+
+// AddSketch accumulates src into dst (dst += src): the aggregator's
+// global-measurement step y = Σ y_l (paper eq. 1), and also the
+// incremental-update path — new data arriving at a node contributes
+// Φ₀·Δx, which is simply added to the standing sketch.
+func AddSketch(dst, src linalg.Vector) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("sensing: sketch length mismatch %d vs %d", len(dst), len(src)))
+	}
+	dst.Add(src)
+}
+
+// SubSketch removes src from dst (dst -= src): the node-removal path —
+// dropping a data center from the aggregation subtracts its sketch,
+// again in O(M), no recomputation anywhere (paper §1 challenge 3).
+func SubSketch(dst, src linalg.Vector) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("sensing: sketch length mismatch %d vs %d", len(dst), len(src)))
+	}
+	dst.Sub(src)
+}
+
+// SketchBytes returns the wire size of a sketch: M measurements at
+// 64 bits each (S_M in the paper's cost accounting, §6.1.2).
+func SketchBytes(m int) int64 { return int64(m) * 8 }

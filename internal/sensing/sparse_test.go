@@ -1,0 +1,172 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+func sparseMat(t testing.TB, p Params, d int) *SparseRademacher {
+	t.Helper()
+	s, err := NewSparseRademacher(p, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSparseColumnStructure(t *testing.T) {
+	p := Params{M: 64, N: 100, Seed: 1}
+	s := sparseMat(t, p, 8)
+	for j := 0; j < p.N; j++ {
+		col := s.Col(j, nil)
+		nnz := 0
+		sumSq := 0.0
+		for _, v := range col {
+			if v != 0 {
+				nnz++
+			}
+			sumSq += v * v
+		}
+		if nnz == 0 || nnz > 8 {
+			t.Fatalf("col %d has %d nonzeros, want 1..8", j, nnz)
+		}
+		// With distinct rows the norm is exactly 1; collisions can shift
+		// it (±) but not wildly.
+		if sumSq < 0.2 || sumSq > 3.5 {
+			t.Fatalf("col %d squared norm %v", j, sumSq)
+		}
+	}
+}
+
+func TestSparseDeterministicAndSeedSensitive(t *testing.T) {
+	p := Params{M: 32, N: 50, Seed: 7}
+	a := sparseMat(t, p, 4)
+	b := sparseMat(t, p, 4)
+	p2 := p
+	p2.Seed++
+	c := sparseMat(t, p2, 4)
+	for j := 0; j < p.N; j++ {
+		ca, cb := a.Col(j, nil), b.Col(j, nil)
+		if !ca.Equal(cb, 0) {
+			t.Fatalf("col %d not deterministic", j)
+		}
+		if ca.Equal(c.Col(j, nil), 1e-12) {
+			t.Fatalf("col %d identical across seeds", j)
+		}
+	}
+}
+
+func TestSparseDiffersFromGaussian(t *testing.T) {
+	p := Params{M: 32, N: 10, Seed: 7}
+	s := sparseMat(t, p, 4)
+	g, err := NewSeeded(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Col(0, nil).Equal(g.Col(0, nil), 1e-9) {
+		t.Fatal("sparse and Gaussian columns coincide for same seed")
+	}
+}
+
+func TestSparseMeasureConsistency(t *testing.T) {
+	p := Params{M: 48, N: 120, Seed: 3}
+	s := sparseMat(t, p, 6)
+	r := xrand.New(1)
+	x := make(linalg.Vector, p.N)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	// Measure == Σ x_j·col_j == MeasureSparse on the dense support.
+	want := make(linalg.Vector, p.M)
+	col := make(linalg.Vector, p.M)
+	idx := make([]int, p.N)
+	for j := 0; j < p.N; j++ {
+		want.AddScaled(x[j], s.Col(j, col))
+		idx[j] = j
+	}
+	if got := s.Measure(x, nil); !got.Equal(want, 1e-9) {
+		t.Fatal("Measure mismatch")
+	}
+	if got := s.MeasureSparse(idx, x, nil); !got.Equal(want, 1e-9) {
+		t.Fatal("MeasureSparse mismatch")
+	}
+	// Correlate adjointness: <Φx, r> == <x, Φᵀr>.
+	rv := make(linalg.Vector, p.M)
+	for i := range rv {
+		rv[i] = r.NormFloat64()
+	}
+	lhs := s.Measure(x, nil).Dot(rv)
+	rhs := linalg.Vector(x).Dot(s.Correlate(rv, nil))
+	if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Abs(lhs)) {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestSparseExtensionColumn(t *testing.T) {
+	p := Params{M: 24, N: 60, Seed: 5}
+	s := sparseMat(t, p, 4)
+	want := make(linalg.Vector, p.M)
+	col := make(linalg.Vector, p.M)
+	for j := 0; j < p.N; j++ {
+		want.Add(s.Col(j, col))
+	}
+	want.Scale(1 / math.Sqrt(float64(p.N)))
+	if got := s.ExtensionColumn(nil); !got.Equal(want, 1e-9) {
+		t.Fatal("ExtensionColumn mismatch")
+	}
+}
+
+func TestSparseDClamping(t *testing.T) {
+	p := Params{M: 10, N: 5, Seed: 1}
+	s, err := NewSparseRademacher(p, 0)
+	if err != nil || s.D() != 1 {
+		t.Fatalf("d=0 clamp: %v, D=%d", err, s.D())
+	}
+	s2, err := NewSparseRademacher(p, 100)
+	if err != nil || s2.D() != 10 {
+		t.Fatalf("d>M clamp: %v, D=%d", err, s2.D())
+	}
+	if _, err := NewSparseRademacher(Params{M: 0, N: 5}, 2); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestSparseLinearity(t *testing.T) {
+	// The distributed-aggregation identity must hold for the sparse
+	// ensemble exactly as for the Gaussian one.
+	p := Params{M: 30, N: 80, Seed: 9}
+	s := sparseMat(t, p, 5)
+	r := xrand.New(2)
+	a := make(linalg.Vector, p.N)
+	b := make(linalg.Vector, p.N)
+	for i := range a {
+		a[i], b[i] = r.NormFloat64(), r.NormFloat64()
+	}
+	sum := a.Clone().Add(b)
+	ya := s.Measure(a, nil)
+	yb := s.Measure(b, nil)
+	AddSketch(ya, yb)
+	if !ya.Equal(s.Measure(sum, nil), 1e-9) {
+		t.Fatal("sparse ensemble broke sketch linearity")
+	}
+}
+
+func BenchmarkSparseMeasureSparse(b *testing.B) {
+	p := Params{M: 200, N: 1000000, Seed: 1}
+	s, _ := NewSparseRademacher(p, 8)
+	idx := make([]int, 500)
+	vals := make([]float64, 500)
+	r := xrand.New(1)
+	for i := range idx {
+		idx[i] = r.Intn(p.N)
+		vals[i] = r.NormFloat64()
+	}
+	dst := make(linalg.Vector, p.M)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MeasureSparse(idx, vals, dst)
+	}
+}

@@ -1,0 +1,93 @@
+package sensing
+
+import "fmt"
+
+// Kind names a measurement-matrix family.
+type Kind uint8
+
+// The ensembles the package implements.
+const (
+	// KindGaussian is the paper's i.i.d. N(0, 1/M) ensemble.
+	KindGaussian Kind = iota
+	// KindSparseRademacher has D non-zero ±1/√D entries per column.
+	KindSparseRademacher
+	// KindSRHT is the subsampled randomized Hadamard transform.
+	KindSRHT
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindGaussian:
+		return "gaussian"
+	case KindSparseRademacher:
+		return "sparse"
+	case KindSRHT:
+		return "srht"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a user-facing name into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "gaussian", "":
+		return KindGaussian, nil
+	case "sparse":
+		return KindSparseRademacher, nil
+	case "srht":
+		return KindSRHT, nil
+	default:
+		return 0, fmt.Errorf("sensing: unknown ensemble %q (want gaussian, sparse or srht)", s)
+	}
+}
+
+// Spec fully identifies a measurement matrix across nodes: the shared
+// parameters plus the ensemble family and its knobs. Two nodes with
+// equal Specs hold the identical matrix; Specs travel over the wire in
+// the cluster protocol.
+type Spec struct {
+	Params
+	Kind Kind
+	// D is the SparseRademacher per-column density (ignored otherwise;
+	// 0 means max(8, M/16)).
+	D int
+}
+
+// GaussianSpec is the default-family spec for the given parameters.
+func GaussianSpec(p Params) Spec { return Spec{Params: p, Kind: KindGaussian} }
+
+// density resolves the SparseRademacher density default.
+func (s Spec) density() int {
+	if s.D > 0 {
+		return s.D
+	}
+	d := s.M / 16
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+// New instantiates the matrix a Spec describes. For the Gaussian family
+// it picks the stored representation when M·N fits under denseLimit and
+// the column-regenerating one otherwise.
+func New(spec Spec, denseLimit int64) (Matrix, error) {
+	if denseLimit <= 0 {
+		denseLimit = 4e7
+	}
+	switch spec.Kind {
+	case KindGaussian:
+		if int64(spec.M)*int64(spec.N) <= denseLimit {
+			return NewDense(spec.Params)
+		}
+		return NewSeeded(spec.Params)
+	case KindSparseRademacher:
+		return NewSparseRademacher(spec.Params, spec.density())
+	case KindSRHT:
+		return NewSRHT(spec.Params)
+	default:
+		return nil, fmt.Errorf("sensing: unknown ensemble kind %d", spec.Kind)
+	}
+}

@@ -1,0 +1,128 @@
+package sensing
+
+import (
+	"testing"
+
+	"csoutlier/internal/linalg"
+)
+
+func TestSpecDensityDefault(t *testing.T) {
+	s := Spec{Params: Params{M: 320, N: 10}, Kind: KindSparseRademacher}
+	if d := s.density(); d != 20 {
+		t.Fatalf("density = %d, want M/16 = 20", d)
+	}
+	s.Params.M = 32
+	if d := s.density(); d != 8 {
+		t.Fatalf("density floor = %d, want 8", d)
+	}
+	s.D = 3
+	if d := s.density(); d != 3 {
+		t.Fatalf("explicit density = %d", d)
+	}
+}
+
+func TestSpecNewAgreesWithDirectConstructors(t *testing.T) {
+	p := Params{M: 10, N: 40, Seed: 21}
+	for _, spec := range []Spec{
+		GaussianSpec(p),
+		{Params: p, Kind: KindSparseRademacher, D: 4},
+		{Params: p, Kind: KindSRHT},
+	} {
+		m, err := New(spec, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", spec.Kind, err)
+		}
+		var direct Matrix
+		switch spec.Kind {
+		case KindGaussian:
+			direct, err = NewDense(p)
+		case KindSparseRademacher:
+			direct, err = NewSparseRademacher(p, 4)
+		case KindSRHT:
+			direct, err = NewSRHT(p)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < p.N; j++ {
+			if !m.Col(j, nil).Equal(direct.Col(j, nil), 0) {
+				t.Fatalf("%v: New disagrees with direct constructor at column %d", spec.Kind, j)
+			}
+		}
+	}
+}
+
+func TestSpecNewGaussianDenseLimit(t *testing.T) {
+	p := Params{M: 10, N: 40, Seed: 1}
+	m, err := New(GaussianSpec(p), 1) // force column-regenerating
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*Seeded); !ok {
+		t.Fatalf("tiny dense limit did not force Seeded, got %T", m)
+	}
+	if kindName := KindGaussian.String(); kindName != "gaussian" {
+		t.Fatalf("String = %q", kindName)
+	}
+}
+
+func TestCompressionRatioAndParamsAccessors(t *testing.T) {
+	p := Params{M: 25, N: 100, Seed: 1}
+	if r := p.CompressionRatio(); r != 0.25 {
+		t.Fatalf("CompressionRatio = %v", r)
+	}
+	d, _ := NewDense(p)
+	sd, _ := NewSeeded(p)
+	sp, _ := NewSparseRademacher(p, 4)
+	sr, _ := NewSRHT(p)
+	for _, m := range []Matrix{d, sd, sp, sr} {
+		if m.Params() != p {
+			t.Fatalf("%T.Params() = %+v", m, m.Params())
+		}
+	}
+}
+
+func TestMeasurePanicsOnBadLength(t *testing.T) {
+	p := Params{M: 4, N: 10, Seed: 1}
+	d, _ := NewDense(p)
+	sd, _ := NewSeeded(p)
+	for _, m := range []Matrix{d, sd} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%T.Measure accepted wrong length", m)
+				}
+			}()
+			m.Measure(make(linalg.Vector, 9), nil)
+		}()
+	}
+	// Sparse index bounds.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Dense.MeasureSparse accepted out-of-range index")
+			}
+		}()
+		// Use the low-density path (few indices) to hit the bound check.
+		d.MeasureSparse([]int{10}, []float64{0}, nil)
+		d.MeasureSparse([]int{10}, []float64{1}, nil)
+	}()
+}
+
+func TestSketchArithmeticPanicsOnMismatch(t *testing.T) {
+	a := make(linalg.Vector, 3)
+	b := make(linalg.Vector, 4)
+	for _, f := range []func(){
+		func() { AddSketch(a, b) },
+		func() { SubSketch(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("sketch length mismatch accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

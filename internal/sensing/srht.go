@@ -1,0 +1,190 @@
+package sensing
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+// SRHT is a Subsampled Randomized Hadamard Transform measurement
+// ensemble (Ailon–Chazelle / Tropp): Φ₀ = √(P/M)·R·H·D, where D is a
+// random ±1 diagonal, H the P×P Walsh–Hadamard matrix (P = N rounded up
+// to a power of two, scaled by 1/√P so H/√P is orthonormal), and R
+// selects M rows at random.
+//
+// Its draw over the Gaussian ensembles is computational: measuring a
+// *dense* slice costs one fast Walsh–Hadamard transform — O(P·log P)
+// total, independent of M — and recovery's per-iteration correlation
+// Φ₀ᵀr is a single inverse transform, O(P·log P) instead of the
+// Gaussian O(M·N). For the paper's production sizes (N ≈ 10K, M ≈ 10³)
+// that is a ~100× cheaper correlation step, attacking the same
+// recovery-cost bottleneck the paper's GPU future-work targets.
+//
+// Columns beyond N (the power-of-two padding) are never exposed: the
+// Matrix interface presents an M×N matrix exactly like the other
+// ensembles, and identical (seed, M, N) always yields the identical
+// transform on every node.
+type SRHT struct {
+	p     Params
+	pad   int       // P: padded dimension, power of two ≥ N
+	signs []float64 // D diagonal, length pad
+	rows  []int     // R: the M selected Hadamard rows, sorted
+	scale float64   // √(P/M) / √P  = 1/√(M)  ... see newSRHT
+}
+
+// NewSRHT builds the transform for the given consensus parameters.
+func NewSRHT(p Params) (*SRHT, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pad := 1
+	for pad < p.N {
+		pad <<= 1
+	}
+	rng := xrand.New(p.Seed ^ 0x5248545f) // "RHT_" salt: distinct from other ensembles
+	signs := make([]float64, pad)
+	for i := range signs {
+		if rng.Uint64()&1 == 0 {
+			signs[i] = 1
+		} else {
+			signs[i] = -1
+		}
+	}
+	if p.M > pad {
+		return nil, fmt.Errorf("sensing: SRHT needs M=%d ≤ padded dimension %d", p.M, pad)
+	}
+	// Sample M distinct rows of H.
+	perm := rng.Perm(pad)
+	rows := append([]int(nil), perm[:p.M]...)
+	// Φ = √(P/M) · R · (H/√P) · D: the two √P factors cancel, so each
+	// entry of Φ is ±1/√M — applied as one scale after the unnormalized
+	// FWHT. Columns then have exactly unit norm (M entries of 1/√M).
+	return &SRHT{
+		p:     p,
+		pad:   pad,
+		signs: signs,
+		rows:  rows,
+		scale: 1 / math.Sqrt(float64(p.M)),
+	}, nil
+}
+
+// Params implements Matrix.
+func (s *SRHT) Params() Params { return s.p }
+
+// fwht performs the in-place unnormalized fast Walsh–Hadamard transform
+// (length must be a power of two). H is symmetric and H·H = P·I, so the
+// same routine serves forward and adjoint directions.
+func fwht(a []float64) {
+	n := len(a)
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				x, y := a[j], a[j+h]
+				a[j], a[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// hadamardEntry returns H[r][c] ∈ {+1, −1} for the unnormalized
+// Walsh–Hadamard matrix: (−1)^popcount(r AND c).
+func hadamardEntry(r, c int) float64 {
+	if bits.OnesCount(uint(r&c))&1 == 1 {
+		return -1
+	}
+	return 1
+}
+
+// Col implements Matrix: column j is scale·D[j]·H[rows, j].
+func (s *SRHT) Col(j int, dst linalg.Vector) linalg.Vector {
+	if j < 0 || j >= s.p.N {
+		panic(fmt.Sprintf("sensing: column %d out of [0,%d)", j, s.p.N))
+	}
+	dst = ensureExact(dst, s.p.M)
+	dj := s.signs[j] * s.scale
+	for i, r := range s.rows {
+		dst[i] = dj * hadamardEntry(r, j)
+	}
+	return dst
+}
+
+// Measure implements Matrix with one O(P log P) transform.
+func (s *SRHT) Measure(x, dst linalg.Vector) linalg.Vector {
+	if len(x) != s.p.N {
+		panic(fmt.Sprintf("sensing: Measure vector length %d, want N=%d", len(x), s.p.N))
+	}
+	buf := make([]float64, s.pad)
+	for j, v := range x {
+		buf[j] = v * s.signs[j]
+	}
+	fwht(buf)
+	dst = ensureExact(dst, s.p.M)
+	for i, r := range s.rows {
+		dst[i] = buf[r] * s.scale
+	}
+	return dst
+}
+
+// MeasureSparse implements Matrix. For very sparse inputs the per-column
+// path (O(nnz·M)) beats the full transform (O(P log P)); the crossover
+// is where nnz·M ≈ P·log₂P.
+func (s *SRHT) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
+	logP := bits.Len(uint(s.pad)) - 1
+	if len(idx)*s.p.M > s.pad*logP {
+		x := make(linalg.Vector, s.p.N)
+		for k, j := range idx {
+			if j < 0 || j >= s.p.N {
+				panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, s.p.N))
+			}
+			x[j] += vals[k]
+		}
+		return s.Measure(x, dst)
+	}
+	dst = ensure(dst, s.p.M)
+	for k, j := range idx {
+		v := vals[k]
+		if v == 0 {
+			continue
+		}
+		if j < 0 || j >= s.p.N {
+			panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, s.p.N))
+		}
+		dj := s.signs[j] * s.scale * v
+		for i, r := range s.rows {
+			dst[i] += dj * hadamardEntry(r, j)
+		}
+	}
+	return dst
+}
+
+// Correlate implements Matrix with one O(P log P) adjoint transform:
+// Φ₀ᵀr = D·Hᵀ·Rᵀ·r·scale, and Hᵀ = H.
+func (s *SRHT) Correlate(r, dst linalg.Vector) linalg.Vector {
+	if len(r) != s.p.M {
+		panic(fmt.Sprintf("sensing: Correlate vector length %d, want M=%d", len(r), s.p.M))
+	}
+	buf := make([]float64, s.pad)
+	for i, row := range s.rows {
+		buf[row] += r[i]
+	}
+	fwht(buf)
+	dst = ensureExact(dst, s.p.N)
+	for j := 0; j < s.p.N; j++ {
+		dst[j] = buf[j] * s.signs[j] * s.scale
+	}
+	return dst
+}
+
+// ExtensionColumn implements Matrix: φ₀ = (1/√N)·Σⱼ φⱼ, computed by
+// measuring the all-ones data vector.
+func (s *SRHT) ExtensionColumn(dst linalg.Vector) linalg.Vector {
+	ones := make(linalg.Vector, s.p.N)
+	ones.Fill(1)
+	dst = s.Measure(ones, dst)
+	return dst.Scale(1 / math.Sqrt(float64(s.p.N)))
+}
+
+var _ Matrix = (*SRHT)(nil)

@@ -1,0 +1,219 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+func srht(t testing.TB, p Params) *SRHT {
+	t.Helper()
+	s, err := NewSRHT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFWHTInvolution(t *testing.T) {
+	// H·H = P·I: transforming twice recovers P·x.
+	r := xrand.New(1)
+	const p = 64
+	x := make([]float64, p)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	y := append([]float64(nil), x...)
+	fwht(y)
+	fwht(y)
+	for i := range x {
+		if math.Abs(y[i]-float64(p)*x[i]) > 1e-9 {
+			t.Fatalf("H·H != P·I at %d", i)
+		}
+	}
+}
+
+func TestFWHTMatchesEntries(t *testing.T) {
+	// The transform agrees with the explicit (−1)^popcount(r&c) matrix.
+	const p = 16
+	for c := 0; c < p; c++ {
+		e := make([]float64, p)
+		e[c] = 1
+		fwht(e)
+		for r := 0; r < p; r++ {
+			if e[r] != hadamardEntry(r, c) {
+				t.Fatalf("fwht(e_%d)[%d] = %v, want %v", c, r, e[r], hadamardEntry(r, c))
+			}
+		}
+	}
+}
+
+func TestSRHTMeasureMatchesColumns(t *testing.T) {
+	// N deliberately not a power of two: padding must be invisible.
+	p := Params{M: 24, N: 100, Seed: 7}
+	s := srht(t, p)
+	r := xrand.New(2)
+	x := make(linalg.Vector, p.N)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	want := make(linalg.Vector, p.M)
+	col := make(linalg.Vector, p.M)
+	for j := 0; j < p.N; j++ {
+		want.AddScaled(x[j], s.Col(j, col))
+	}
+	if got := s.Measure(x, nil); !got.Equal(want, 1e-9) {
+		t.Fatal("Measure disagrees with explicit columns")
+	}
+}
+
+func TestSRHTMeasureSparseBothPaths(t *testing.T) {
+	p := Params{M: 16, N: 120, Seed: 8}
+	s := srht(t, p)
+	// Dense-ish input → transform path; tiny input → per-column path.
+	for _, nnz := range []int{2, 100} {
+		idx := make([]int, nnz)
+		vals := make([]float64, nnz)
+		r := xrand.New(uint64(nnz))
+		x := make(linalg.Vector, p.N)
+		for i := range idx {
+			idx[i] = r.Intn(p.N)
+			vals[i] = r.NormFloat64()
+			x[idx[i]] += vals[i]
+		}
+		want := s.Measure(x, nil)
+		if got := s.MeasureSparse(idx, vals, nil); !got.Equal(want, 1e-9) {
+			t.Fatalf("nnz=%d: MeasureSparse mismatch", nnz)
+		}
+	}
+}
+
+func TestSRHTAdjoint(t *testing.T) {
+	// <Φx, r> == <x, Φᵀr> — the identity OMP's correlation step needs.
+	p := Params{M: 20, N: 90, Seed: 9}
+	s := srht(t, p)
+	r := xrand.New(3)
+	x := make(linalg.Vector, p.N)
+	rv := make(linalg.Vector, p.M)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	for i := range rv {
+		rv[i] = r.NormFloat64()
+	}
+	lhs := s.Measure(x, nil).Dot(rv)
+	rhs := x.Dot(s.Correlate(rv, nil))
+	if math.Abs(lhs-rhs) > 1e-9*math.Max(1, math.Abs(lhs)) {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestSRHTColumnsUnitNorm(t *testing.T) {
+	// Every column has exactly M entries of magnitude 1/√M → norm 1.
+	p := Params{M: 32, N: 70, Seed: 10}
+	s := srht(t, p)
+	for j := 0; j < p.N; j++ {
+		if n := s.Col(j, nil).Norm2(); math.Abs(n-1) > 1e-12 {
+			t.Fatalf("col %d norm %v", j, n)
+		}
+	}
+}
+
+func TestSRHTDeterministicAndDistinct(t *testing.T) {
+	p := Params{M: 8, N: 30, Seed: 11}
+	a, b := srht(t, p), srht(t, p)
+	p2 := p
+	p2.Seed++
+	c := srht(t, p2)
+	differs := false
+	for j := 0; j < p.N; j++ {
+		ca, cb, cc := a.Col(j, nil), b.Col(j, nil), c.Col(j, nil)
+		if !ca.Equal(cb, 0) {
+			t.Fatalf("col %d not deterministic", j)
+		}
+		if !ca.Equal(cc, 1e-12) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced the same transform")
+	}
+}
+
+func TestSRHTExtensionColumn(t *testing.T) {
+	p := Params{M: 12, N: 40, Seed: 12}
+	s := srht(t, p)
+	want := make(linalg.Vector, p.M)
+	col := make(linalg.Vector, p.M)
+	for j := 0; j < p.N; j++ {
+		want.Add(s.Col(j, col))
+	}
+	want.Scale(1 / math.Sqrt(float64(p.N)))
+	if got := s.ExtensionColumn(nil); !got.Equal(want, 1e-9) {
+		t.Fatal("ExtensionColumn mismatch")
+	}
+}
+
+func TestSRHTLinearity(t *testing.T) {
+	p := Params{M: 16, N: 50, Seed: 13}
+	s := srht(t, p)
+	r := xrand.New(4)
+	a := make(linalg.Vector, p.N)
+	b := make(linalg.Vector, p.N)
+	for i := range a {
+		a[i], b[i] = r.NormFloat64(), r.NormFloat64()
+	}
+	ya, yb := s.Measure(a, nil), s.Measure(b, nil)
+	AddSketch(ya, yb)
+	if !ya.Equal(s.Measure(a.Clone().Add(b), nil), 1e-9) {
+		t.Fatal("SRHT broke sketch linearity")
+	}
+}
+
+func TestSRHTValidation(t *testing.T) {
+	if _, err := NewSRHT(Params{M: 0, N: 10}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	// M greater than the padded dimension is impossible to subsample.
+	if _, err := NewSRHT(Params{M: 9, N: 8, Seed: 1}); err == nil {
+		t.Fatal("M > P accepted")
+	}
+}
+
+func BenchmarkSRHTCorrelate(b *testing.B) {
+	p := Params{M: 1000, N: 10000, Seed: 1}
+	s, err := NewSRHT(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	rv := make(linalg.Vector, p.M)
+	for i := range rv {
+		rv[i] = r.NormFloat64()
+	}
+	dst := make(linalg.Vector, p.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Correlate(rv, dst)
+	}
+}
+
+func BenchmarkGaussianCorrelateSameSize(b *testing.B) {
+	p := Params{M: 1000, N: 10000, Seed: 1}
+	d, err := NewDense(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	rv := make(linalg.Vector, p.M)
+	for i := range rv {
+		rv[i] = r.NormFloat64()
+	}
+	dst := make(linalg.Vector, p.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Correlate(rv, dst)
+	}
+}

@@ -1,0 +1,47 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestNearMajorityDominatedDeterministic(t *testing.T) {
+	a, sa := NearMajorityDominated(150, 8, 500, 10, 100, 400, 31)
+	b, sb := NearMajorityDominated(150, 8, 500, 10, 100, 400, 31)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed, different vectors")
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same seed, different support")
+		}
+	}
+	c, _ := NearMajorityDominated(150, 8, 500, 10, 100, 400, 32)
+	if a.Equal(c, 0) {
+		t.Fatal("different seed, equal vectors")
+	}
+}
+
+func TestNearMajorityDominatedZeroJitterIsExact(t *testing.T) {
+	exact, se := MajorityDominated(100, 5, 900, 50, 200, 7)
+	near, sn := NearMajorityDominated(100, 5, 900, 0, 50, 200, 7)
+	if !exact.Equal(near, 0) {
+		t.Fatal("zero jitter differs from exact generator")
+	}
+	for i := range se {
+		if se[i] != sn[i] {
+			t.Fatal("supports differ")
+		}
+	}
+}
+
+func TestNearMajorityDominatedOutliersUntouched(t *testing.T) {
+	// Jitter applies to the bulk only: the planted outlier values match
+	// the exact generator's.
+	exact, support := MajorityDominated(200, 10, 700, 100, 300, 9)
+	near, _ := NearMajorityDominated(200, 10, 700, 25, 100, 300, 9)
+	for _, j := range support {
+		if exact[j] != near[j] {
+			t.Fatalf("outlier %d jittered: %v vs %v", j, exact[j], near[j])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator with Gaussian sampling.
+//
+// The compressive-sensing aggregation protocol requires every node to
+// generate the exact same measurement matrix Φ from a shared seed ("by a
+// consensus", paper §3.1). The generator here is fully specified — a PCG
+// XSL-RR 128/64 step with splitmix64 seeding — so two nodes built from this
+// package always agree bit-for-bit, independent of the Go version's
+// math/rand internals.
+//
+// Sub-streams: Split derives an independent generator for a labeled
+// sub-stream (for example, one stream per matrix column). This lets a node
+// regenerate any single column of Φ in O(M) work without materializing the
+// whole matrix, which is what makes sensing.Seeded practical for very
+// large key spaces.
+package xrand
+
+import "math"
+
+// splitmix64 is the seed-scrambling finalizer from Steele et al.,
+// "Fast Splittable Pseudorandom Number Generators" (OOPSLA 2014).
+// It is used both to initialize PCG state from arbitrary seeds and to
+// derive sub-stream seeds, so that correlated user seeds (0, 1, 2, ...)
+// still yield decorrelated streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RNG is a PCG XSL-RR 128/64 generator. The zero value is not valid; use
+// New or Split.
+type RNG struct {
+	hi, lo uint64 // 128-bit LCG state
+
+	// Box–Muller generates Gaussians in pairs; the spare is cached.
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a generator seeded from seed. Distinct seeds give
+// independent-looking streams even when numerically adjacent.
+func New(seed uint64) *RNG {
+	r := &RNG{
+		hi: splitmix64(seed),
+		lo: splitmix64(seed ^ 0xda3e39cb94b95bdb),
+	}
+	// Advance once so that the first output already mixes the full state.
+	r.step()
+	return r
+}
+
+// Split returns a new generator for the sub-stream identified by label,
+// derived from r's seed material but statistically independent of both r
+// and any sibling sub-stream with a different label. Split does not
+// consume randomness from r and may be called concurrently with other
+// Splits of the same parent only if externally synchronized.
+func (r *RNG) Split(label uint64) *RNG {
+	s := &RNG{
+		hi: splitmix64(r.hi ^ splitmix64(label)),
+		lo: splitmix64(r.lo ^ splitmix64(label^0xa5a5a5a5a5a5a5a5)),
+	}
+	s.step()
+	return s
+}
+
+// step advances the 128-bit LCG state (constants from PCG reference
+// implementation: MCG multiplier 0x2360ed051fc65da44385df649fccf645).
+func (r *RNG) step() {
+	const (
+		mulHi = 0x2360ed051fc65da4
+		mulLo = 0x4385df649fccf645
+		incHi = 0x5851f42d4c957f2d
+		incLo = 0x14057b7ef767814f
+	)
+	// 128-bit multiply-add: state = state*mul + inc.
+	hi, lo := mul128(r.hi, r.lo, mulHi, mulLo)
+	lo2 := lo + incLo
+	carry := uint64(0)
+	if lo2 < lo {
+		carry = 1
+	}
+	r.hi = hi + incHi + carry
+	r.lo = lo2
+}
+
+// mul128 computes (aHi:aLo) * (bHi:bLo) mod 2^128.
+func mul128(aHi, aLo, bHi, bLo uint64) (hi, lo uint64) {
+	// Full 64x64 -> 128 of the low words.
+	const mask32 = 0xffffffff
+	a0, a1 := aLo&mask32, aLo>>32
+	b0, b1 := bLo&mask32, bLo>>32
+
+	t := a0 * b0
+	w0 := t & mask32
+	k := t >> 32
+
+	t = a1*b0 + k
+	w1 := t & mask32
+	w2 := t >> 32
+
+	t = a0*b1 + w1
+	k = t >> 32
+
+	lo = (t << 32) + w0
+	hi = a1*b1 + w2 + k
+	// Cross terms that land in the high word.
+	hi += aHi*bLo + aLo*bHi
+	return hi, lo
+}
+
+// Uint64 returns the next 64-bit output (PCG XSL-RR output function).
+func (r *RNG) Uint64() uint64 {
+	r.step()
+	xored := r.hi ^ r.lo
+	rot := uint(r.hi >> 58)
+	return (xored >> rot) | (xored << ((64 - rot) & 63))
+}
+
+// Float64 returns a uniform sample in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul128(0, v, 0, un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = mul128(0, v, 0, un)
+		}
+	}
+	return int(hi)
+}
+
+// NormFloat64 returns a standard normal sample via the Box–Muller
+// transform. Box–Muller is chosen over ziggurat because it is trivially
+// portable and exactly reproducible: it uses only math.Sqrt, math.Log,
+// math.Sincos, all correctly rounded or deterministic on all Go platforms.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	s, c := math.Sincos(2 * math.Pi * v)
+	r.gauss = mag * s
+	r.haveGauss = true
+	return mag * c
+}
+
+// ExpFloat64 returns an exponential sample with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	var u float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the n elements addressed by swap uniformly at random.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

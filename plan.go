@@ -1,0 +1,49 @@
+package csoutlier
+
+import (
+	"fmt"
+	"math"
+)
+
+// RecommendM suggests a sketch length M for detecting outliers in an
+// N-key aggregate expected to hold about s outliers, with recovery
+// failure probability at most delta.
+//
+// Theorem 1 of the paper proves M = A·sᵃ·log(N/δ) measurements suffice
+// for exact recovery of a biased s-sparse vector, with A and a absolute
+// constants the paper does not pin numerically. The suggestion here is
+// the maximum of two regimes, both calibrated against this repository's
+// Figure 4(a) reproduction and validated by
+// TestRecommendMAchievesTargetProbability on held-out sparsities:
+//
+//   - small s: 3.8·√s·log(N/δ) (the empirical fit over s ∈ [7, 30]);
+//   - large s: 0.7·s·log(N/δ) — greedy recovery asymptotically needs
+//     measurements linear in the sparsity, so the √s fit must not be
+//     extrapolated;
+//
+// plus a 2(s+1)+1 floor (the least-squares system over the bias and s
+// outliers must stay overdetermined).
+//
+// Treat the answer as a starting point: heavier-tailed outlier
+// magnitudes need less, near-sparse (jittered) data needs more, and a
+// k-outlier query with k ≪ s can run far below it (the paper's Figures
+// 7–8 operate at M ≈ 1–10% of N against s ≈ 300 outliers).
+func RecommendM(n, s int, delta float64) (int, error) {
+	if n <= 0 || s <= 0 {
+		return 0, fmt.Errorf("csoutlier: RecommendM needs positive n and s, got n=%d s=%d", n, s)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("csoutlier: delta must be in (0,1), got %v", delta)
+	}
+	logTerm := math.Log(float64(n) / delta)
+	sqrtRegime := 3.8 * math.Sqrt(float64(s)) * logTerm
+	linRegime := 0.7 * float64(s) * logTerm
+	m := int(math.Ceil(math.Max(sqrtRegime, linRegime)))
+	if floor := 2*(s+1) + 1; m < floor {
+		m = floor // LS over s+1 columns must stay comfortably overdetermined
+	}
+	if m > n {
+		m = n // never "compress" beyond the identity
+	}
+	return m, nil
+}

@@ -1,0 +1,117 @@
+package csoutlier
+
+import (
+	"fmt"
+	"testing"
+
+	"csoutlier/internal/recovery"
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/workload"
+	"csoutlier/internal/xrand"
+)
+
+func TestRecommendMValidation(t *testing.T) {
+	if _, err := RecommendM(0, 5, 0.01); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := RecommendM(100, 0, 0.01); err == nil {
+		t.Fatal("s=0 accepted")
+	}
+	for _, d := range []float64{0, 1, -0.5, 2} {
+		if _, err := RecommendM(100, 5, d); err == nil {
+			t.Fatalf("delta=%v accepted", d)
+		}
+	}
+}
+
+func TestRecommendMMonotone(t *testing.T) {
+	prev := 0
+	for _, s := range []int{2, 5, 10, 20, 50} {
+		m, err := RecommendM(10000, s, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m <= prev {
+			t.Fatalf("M not increasing in s: s=%d -> %d (prev %d)", s, m, prev)
+		}
+		prev = m
+	}
+	mSmallN, _ := RecommendM(1000, 10, 0.01)
+	mBigN, _ := RecommendM(1000000, 10, 0.01)
+	if mBigN <= mSmallN {
+		t.Fatalf("M not increasing in N: %d vs %d", mSmallN, mBigN)
+	}
+	mLax, _ := RecommendM(1000, 10, 0.1)
+	mStrict, _ := RecommendM(1000, 10, 0.001)
+	if mStrict <= mLax {
+		t.Fatalf("M not increasing in confidence: %d vs %d", mLax, mStrict)
+	}
+}
+
+func TestRecommendMClampsToN(t *testing.T) {
+	m, err := RecommendM(20, 10, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m > 20 {
+		t.Fatalf("M=%d > N=20", m)
+	}
+}
+
+func TestRecommendMAchievesTargetProbability(t *testing.T) {
+	// Held-out validation of the Theorem-1 calibration: at the
+	// recommended M, exact recovery must succeed at well above 1−δ on
+	// sparsities not used for fitting.
+	const n = 1000
+	const delta = 0.05
+	rng := xrand.New(4711)
+	for _, s := range []int{4, 10, 22} {
+		m, err := RecommendM(n, s, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 40
+		ok := 0
+		for trial := 0; trial < trials; trial++ {
+			seed := rng.Uint64()
+			x, support := workload.MajorityDominated(n, s, 5000, 500, 5000, seed)
+			mat, err := sensing.NewDense(sensing.Params{M: m, N: n, Seed: seed ^ 0xabc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := recovery.BOMP(mat, mat.Measure(x, nil), recovery.Options{MaxIterations: s + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact(res, support) {
+				ok++
+			}
+		}
+		rate := float64(ok) / trials
+		if rate < 1-2*delta { // sampling slack on 40 trials
+			t.Fatalf("s=%d: recommended M=%d achieved only %.2f recovery", s, m, rate)
+		}
+	}
+}
+
+func exact(res *recovery.Result, support []int) bool {
+	if len(res.Support) != len(support) {
+		return false
+	}
+	got := map[int]bool{}
+	for _, j := range res.Support {
+		got[j] = true
+	}
+	for _, j := range support {
+		if !got[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func ExampleRecommendM() {
+	m, _ := RecommendM(10000, 300, 0.01)
+	fmt.Println(m > 300, m < 10000)
+	// Output: true true
+}

@@ -1,0 +1,166 @@
+package csoutlier
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file provides the front-end for the paper's production query
+// template (§6.1.2):
+//
+//	SELECT Outlier K SUM(Score), G1...Gm
+//	FROM   Log_Streams PARAMS(StartDate, EndDate)
+//	WHERE  Predicates
+//	GROUP BY G1...Gm;
+//
+// A LogRecord is one raw log line with named attributes and a score;
+// an OutlierQuery filters records, groups them by the chosen
+// attributes, and the executor runs the full sketch pipeline over the
+// per-node record sets.
+
+// LogRecord is one raw log event.
+type LogRecord struct {
+	Attrs map[string]string // e.g. "Market": "en-US", "Vertical": "web"
+	Score float64           // signed click score
+}
+
+// OutlierQuery describes a distributed k-outlier aggregation query.
+type OutlierQuery struct {
+	// K is the number of outliers to report.
+	K int
+	// GroupBy lists the attribute names forming the aggregation key,
+	// in order (G1...Gm in the template).
+	GroupBy []string
+	// Where filters records before aggregation (nil = keep all).
+	Where func(LogRecord) bool
+	// M is the sketch length; Seed the consensus seed.
+	M    int
+	Seed uint64
+}
+
+// groupKeySep separates attribute values inside a composite group key.
+// Attribute values containing the separator are rejected at key-build
+// time rather than silently merging groups.
+const groupKeySep = "|"
+
+// GroupKey builds the composite key of a record under the query's
+// GROUP BY clause.
+func (q *OutlierQuery) GroupKey(rec LogRecord) (string, error) {
+	parts := make([]string, len(q.GroupBy))
+	for i, attr := range q.GroupBy {
+		v, ok := rec.Attrs[attr]
+		if !ok {
+			return "", fmt.Errorf("csoutlier: record lacks GROUP BY attribute %q", attr)
+		}
+		if strings.Contains(v, groupKeySep) {
+			return "", fmt.Errorf("csoutlier: attribute %q value %q contains the %q separator", attr, v, groupKeySep)
+		}
+		parts[i] = v
+	}
+	return strings.Join(parts, groupKeySep), nil
+}
+
+// AggregateNode filters and partially aggregates one node's records —
+// the mapper-side "sum group by" (paper Figure 1).
+func (q *OutlierQuery) AggregateNode(recs []LogRecord) (map[string]float64, error) {
+	pairs := make(map[string]float64)
+	for _, rec := range recs {
+		if q.Where != nil && !q.Where(rec) {
+			continue
+		}
+		key, err := q.GroupKey(rec)
+		if err != nil {
+			return nil, err
+		}
+		pairs[key] += rec.Score
+	}
+	return pairs, nil
+}
+
+// QueryResult is the outcome of an executed OutlierQuery.
+type QueryResult struct {
+	Report *Report
+	// Keys is the global key dictionary the run agreed on (sorted).
+	Keys []string
+	// SketchBytes is the sketch communication the aggregation cost
+	// (L·M·8); DictionaryBytes the one-time key-agreement cost.
+	SketchBytes     int64
+	DictionaryBytes int64
+}
+
+// RunOutlierQuery executes the query over per-node record sets
+// in-process: it builds the global key dictionary (one extra round in a
+// real deployment — its cost is reported separately), sketches every
+// node's partial aggregation, sums, and detects. It is the reference
+// executor; distributed deployments run the same steps across
+// cmd/csnode processes.
+func RunOutlierQuery(q *OutlierQuery, nodes [][]LogRecord) (*QueryResult, error) {
+	if q.K <= 0 {
+		return nil, errors.New("csoutlier: query K must be positive")
+	}
+	if len(q.GroupBy) == 0 {
+		return nil, errors.New("csoutlier: query needs at least one GROUP BY attribute")
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("csoutlier: no nodes")
+	}
+	// Phase 0: per-node aggregation + global key dictionary union.
+	perNode := make([]map[string]float64, len(nodes))
+	keySet := make(map[string]bool)
+	var dictBytes int64
+	for i, recs := range nodes {
+		pairs, err := q.AggregateNode(recs)
+		if err != nil {
+			return nil, fmt.Errorf("csoutlier: node %d: %w", i, err)
+		}
+		perNode[i] = pairs
+		for k := range pairs {
+			keySet[k] = true
+			dictBytes += int64(len(k)) + 1
+		}
+	}
+	if len(keySet) == 0 {
+		return nil, errors.New("csoutlier: no records survive the WHERE predicate")
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	m := q.M
+	if m <= 0 || m > len(keys) {
+		m = len(keys) / 10
+		if m < 4 {
+			m = len(keys)
+		}
+	}
+	sk, err := NewSketcher(keys, Config{M: m, Seed: q.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: sketch + sum; Phase 2: detect.
+	global := sk.ZeroSketch()
+	for i, pairs := range perNode {
+		y, err := sk.SketchPairs(pairs)
+		if err != nil {
+			return nil, fmt.Errorf("csoutlier: node %d: %w", i, err)
+		}
+		if err := global.Add(y); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := sk.Detect(global, q.K)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Report:          rep,
+		Keys:            keys,
+		SketchBytes:     int64(len(nodes)) * int64(m) * 8,
+		DictionaryBytes: dictBytes,
+	}, nil
+}

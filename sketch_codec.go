@@ -1,0 +1,95 @@
+package csoutlier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Binary sketch wire format, for shipping sketches between processes
+// without bringing a serialization framework along:
+//
+//	magic    [4]byte  "CSK2"
+//	m        uint32
+//	n        uint32
+//	seed     uint64
+//	ensemble uint8
+//	density  uint32   (SparseRademacher D; 0 for Gaussian)
+//	payload  m × float64 (little endian)
+//	crc32    uint32 (IEEE, over everything above)
+//
+// The full consensus identity travels with the payload so the receiver
+// can verify sketch compatibility before summing — a mismatched seed or
+// ensemble silently corrupting an aggregation is the protocol's worst
+// failure mode.
+
+var sketchMagic = [4]byte{'C', 'S', 'K', '2'}
+
+const sketchHeaderLen = 4 + 4 + 4 + 8 + 1 + 4
+const sketchTrailerLen = 4
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s Sketch) MarshalBinary() ([]byte, error) {
+	if s.m == 0 || len(s.Y) != s.m {
+		return nil, fmt.Errorf("csoutlier: cannot marshal zero-value or inconsistent sketch (m=%d, len=%d)", s.m, len(s.Y))
+	}
+	buf := make([]byte, sketchHeaderLen+8*s.m+sketchTrailerLen)
+	copy(buf[0:4], sketchMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(s.m))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(s.n))
+	binary.LittleEndian.PutUint64(buf[12:20], s.seed)
+	buf[20] = byte(s.ens)
+	binary.LittleEndian.PutUint32(buf[21:25], uint32(s.d))
+	for i, v := range s.Y {
+		binary.LittleEndian.PutUint64(buf[sketchHeaderLen+8*i:], math.Float64bits(v))
+	}
+	sum := crc32.ChecksumIEEE(buf[:len(buf)-sketchTrailerLen])
+	binary.LittleEndian.PutUint32(buf[len(buf)-sketchTrailerLen:], sum)
+	return buf, nil
+}
+
+// UnmarshalSketch decodes a sketch produced by MarshalBinary and
+// verifies both its integrity (checksum) and its compatibility with
+// this Sketcher's consensus parameters.
+func (s *Sketcher) UnmarshalSketch(data []byte) (Sketch, error) {
+	sk, err := decodeSketch(data)
+	if err != nil {
+		return Sketch{}, err
+	}
+	if err := sk.compatible(s.emptySketch()); err != nil {
+		return Sketch{}, err
+	}
+	return sk, nil
+}
+
+// DecodeSketch decodes a sketch without a Sketcher, for transport
+// layers that only relay sketches. Compatibility is still enforced at
+// Add/Sub/Detect time.
+func DecodeSketch(data []byte) (Sketch, error) { return decodeSketch(data) }
+
+func decodeSketch(data []byte) (Sketch, error) {
+	if len(data) < sketchHeaderLen+sketchTrailerLen {
+		return Sketch{}, fmt.Errorf("csoutlier: sketch payload too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[0:4]) != sketchMagic {
+		return Sketch{}, fmt.Errorf("csoutlier: bad sketch magic %q", data[0:4])
+	}
+	wantSum := binary.LittleEndian.Uint32(data[len(data)-sketchTrailerLen:])
+	if got := crc32.ChecksumIEEE(data[:len(data)-sketchTrailerLen]); got != wantSum {
+		return Sketch{}, fmt.Errorf("csoutlier: sketch checksum mismatch (corrupted in transit?)")
+	}
+	m := int(binary.LittleEndian.Uint32(data[4:8]))
+	n := int(binary.LittleEndian.Uint32(data[8:12]))
+	seed := binary.LittleEndian.Uint64(data[12:20])
+	ens := Ensemble(data[20])
+	d := int(binary.LittleEndian.Uint32(data[21:25]))
+	if want := sketchHeaderLen + 8*m + sketchTrailerLen; len(data) != want {
+		return Sketch{}, fmt.Errorf("csoutlier: sketch payload is %d bytes, header says %d", len(data), want)
+	}
+	y := make([]float64, m)
+	for i := range y {
+		y[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[sketchHeaderLen+8*i:]))
+	}
+	return Sketch{Y: y, m: m, n: n, seed: seed, ens: ens, d: d}, nil
+}

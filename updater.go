@@ -1,0 +1,105 @@
+package csoutlier
+
+import (
+	"fmt"
+	"sync"
+
+	"csoutlier/internal/linalg"
+)
+
+// Updater maintains a node's standing sketch over a stream of
+// key→value updates — the paper's "terabyte of new click log data is
+// generated every 10 mins" operating mode (§1, challenge 2). Each
+// observation folds one measurement column into the sketch in O(M)
+// time and O(M) total memory; the slice itself is never stored.
+//
+// An Updater is safe for concurrent use.
+type Updater struct {
+	sk *Sketcher
+
+	mu      sync.Mutex
+	y       linalg.Vector
+	col     linalg.Vector // scratch column
+	updates int64
+}
+
+// NewUpdater returns an empty standing sketch bound to the Sketcher's
+// consensus parameters.
+func (s *Sketcher) NewUpdater() *Updater {
+	return &Updater{
+		sk:  s,
+		y:   make(linalg.Vector, s.params.M),
+		col: make(linalg.Vector, s.params.M),
+	}
+}
+
+// Observe folds one (key, delta) observation into the standing sketch:
+// y += delta·φ_key. Cost: O(M), independent of how much data the node
+// has already absorbed.
+func (u *Updater) Observe(key string, delta float64) error {
+	idx, ok := u.sk.dict.Index(key)
+	if !ok {
+		return fmt.Errorf("csoutlier: key %q not in global dictionary", key)
+	}
+	if delta == 0 {
+		return nil
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.col = u.sk.matrix.Col(idx, u.col)
+	u.y.AddScaled(delta, u.col)
+	u.updates++
+	return nil
+}
+
+// ObserveBatch folds a batch of observations. The batch is all-or-
+// nothing: an unknown key fails the whole batch before any mutation.
+func (u *Updater) ObserveBatch(pairs map[string]float64) error {
+	idx := make([]int, 0, len(pairs))
+	vals := make([]float64, 0, len(pairs))
+	for k, v := range pairs {
+		i, ok := u.sk.dict.Index(k)
+		if !ok {
+			return fmt.Errorf("csoutlier: key %q not in global dictionary", k)
+		}
+		if v == 0 {
+			continue
+		}
+		idx = append(idx, i)
+		vals = append(vals, v)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	// MeasureSparse zeroes its destination, so measure into the scratch
+	// column and accumulate.
+	u.col = u.sk.matrix.MeasureSparse(idx, vals, u.col)
+	u.y.Add(u.col)
+	u.updates += int64(len(idx))
+	return nil
+}
+
+// Updates returns the number of non-zero observations folded in.
+func (u *Updater) Updates() int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.updates
+}
+
+// Sketch returns a snapshot of the standing sketch, ready to ship.
+func (u *Updater) Sketch() Sketch {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	out := u.sk.emptySketch()
+	copy(out.Y, u.y)
+	return out
+}
+
+// Reset clears the standing sketch (e.g. at a window boundary).
+func (u *Updater) Reset() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for i := range u.y {
+		u.y[i] = 0
+	}
+	u.updates = 0
+}

@@ -1,0 +1,164 @@
+package csoutlier
+
+import (
+	"fmt"
+	"sync"
+
+	"csoutlier/internal/linalg"
+)
+
+// WindowStore maintains a ring of per-time-window standing sketches —
+// a miniature of the Impression Store design the paper's authors built
+// on the same compressive-sensing substrate (HotCloud'14, the paper's
+// reference [41]). Observations land in the current window; Rotate
+// seals it and opens a fresh one; any contiguous span of recent windows
+// can be queried by summing their sketches (linearity again), so
+// "outliers over the last hour" and "outliers today" come from the same
+// O(windows·M) state with no raw data retained.
+type WindowStore struct {
+	sk *Sketcher
+
+	mu      sync.Mutex
+	ring    []linalg.Vector // ring[i] = sketch of window i
+	head    int             // index of the current window
+	filled  int             // number of windows that have ever been open
+	col     linalg.Vector   // scratch
+	rotated int64
+}
+
+// NewWindowStore returns a store holding the current window plus
+// history for windows−1 sealed ones. windows must be ≥ 1.
+func (s *Sketcher) NewWindowStore(windows int) (*WindowStore, error) {
+	if windows < 1 {
+		return nil, fmt.Errorf("csoutlier: WindowStore needs at least one window, got %d", windows)
+	}
+	w := &WindowStore{
+		sk:   s,
+		ring: make([]linalg.Vector, windows),
+		col:  make(linalg.Vector, s.params.M),
+	}
+	for i := range w.ring {
+		w.ring[i] = make(linalg.Vector, s.params.M)
+	}
+	w.filled = 1
+	return w, nil
+}
+
+// Windows returns the ring capacity.
+func (w *WindowStore) Windows() int { return len(w.ring) }
+
+// Rotations returns how many times Rotate has been called.
+func (w *WindowStore) Rotations() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rotated
+}
+
+// Observe folds one observation into the current window in O(M).
+func (w *WindowStore) Observe(key string, delta float64) error {
+	idx, ok := w.sk.dict.Index(key)
+	if !ok {
+		return fmt.Errorf("csoutlier: key %q not in global dictionary", key)
+	}
+	if delta == 0 {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.col = w.sk.matrix.Col(idx, w.col)
+	w.ring[w.head].AddScaled(delta, w.col)
+	return nil
+}
+
+// ObserveBatch folds a batch into the current window; all-or-nothing on
+// unknown keys.
+func (w *WindowStore) ObserveBatch(pairs map[string]float64) error {
+	idx := make([]int, 0, len(pairs))
+	vals := make([]float64, 0, len(pairs))
+	for k, v := range pairs {
+		i, ok := w.sk.dict.Index(k)
+		if !ok {
+			return fmt.Errorf("csoutlier: key %q not in global dictionary", k)
+		}
+		if v == 0 {
+			continue
+		}
+		idx = append(idx, i)
+		vals = append(vals, v)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.col = w.sk.matrix.MeasureSparse(idx, vals, w.col)
+	w.ring[w.head].Add(w.col)
+	return nil
+}
+
+// Rotate seals the current window and opens a fresh one, evicting the
+// oldest when the ring is full.
+func (w *WindowStore) Rotate() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.head = (w.head + 1) % len(w.ring)
+	for i := range w.ring[w.head] {
+		w.ring[w.head][i] = 0 // evict / reset
+	}
+	if w.filled < len(w.ring) {
+		w.filled++
+	}
+	w.rotated++
+}
+
+// Available returns how many windows currently hold data (including the
+// open one).
+func (w *WindowStore) Available() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.filled
+}
+
+// Window returns a copy of the sketch of the window `age` rotations ago
+// (0 = the currently open window).
+func (w *WindowStore) Window(age int) (Sketch, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.checkAge(age); err != nil {
+		return Sketch{}, err
+	}
+	out := w.sk.emptySketch()
+	copy(out.Y, w.ring[w.slot(age)])
+	return out, nil
+}
+
+// Range returns the summed sketch over window ages [fromAge, toAge]
+// inclusive, fromAge ≤ toAge; e.g. Range(0, 5) = the last six windows.
+// The sum of window sketches is exactly the sketch of the concatenated
+// data — no accuracy is lost by querying wider spans.
+func (w *WindowStore) Range(fromAge, toAge int) (Sketch, error) {
+	if fromAge > toAge {
+		return Sketch{}, fmt.Errorf("csoutlier: window range [%d, %d] inverted", fromAge, toAge)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.checkAge(fromAge); err != nil {
+		return Sketch{}, err
+	}
+	if err := w.checkAge(toAge); err != nil {
+		return Sketch{}, err
+	}
+	out := w.sk.emptySketch()
+	for age := fromAge; age <= toAge; age++ {
+		linalg.Vector(out.Y).Add(w.ring[w.slot(age)])
+	}
+	return out, nil
+}
+
+func (w *WindowStore) checkAge(age int) error {
+	if age < 0 || age >= w.filled {
+		return fmt.Errorf("csoutlier: window age %d outside [0, %d)", age, w.filled)
+	}
+	return nil
+}
+
+func (w *WindowStore) slot(age int) int {
+	return ((w.head-age)%len(w.ring) + len(w.ring)) % len(w.ring)
+}

@@ -1,0 +1,200 @@
+package csoutlier
+
+import (
+	"math"
+	"testing"
+)
+
+func windowFixture(t *testing.T) (*Sketcher, []string) {
+	t.Helper()
+	keys := testKeys(120)
+	sk, err := NewSketcher(keys, Config{M: 60, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk, keys
+}
+
+func TestWindowStoreBasics(t *testing.T) {
+	sk, keys := windowFixture(t)
+	ws, err := sk.NewWindowStore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Windows() != 4 || ws.Available() != 1 {
+		t.Fatalf("windows %d available %d", ws.Windows(), ws.Available())
+	}
+	if _, err := sk.NewWindowStore(0); err == nil {
+		t.Fatal("0 windows accepted")
+	}
+
+	if err := ws.Observe(keys[3], 7); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ws.Window(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sk.SketchPairs(map[string]float64{keys[3]: 7})
+	for i := range cur.Y {
+		if math.Abs(cur.Y[i]-want.Y[i]) > 1e-12 {
+			t.Fatal("window sketch != direct sketch")
+		}
+	}
+	if err := ws.Observe("bogus", 1); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestWindowStoreRotateAndHistory(t *testing.T) {
+	sk, keys := windowFixture(t)
+	ws, err := sk.NewWindowStore(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window A: key0. Window B: key1. Window C (current): key2.
+	if err := ws.Observe(keys[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	ws.Rotate()
+	if err := ws.Observe(keys[1], 2); err != nil {
+		t.Fatal(err)
+	}
+	ws.Rotate()
+	if err := ws.Observe(keys[2], 3); err != nil {
+		t.Fatal(err)
+	}
+	if ws.Available() != 3 || ws.Rotations() != 2 {
+		t.Fatalf("available %d rotations %d", ws.Available(), ws.Rotations())
+	}
+	for age, wantPairs := range []map[string]float64{
+		{keys[2]: 3}, {keys[1]: 2}, {keys[0]: 1},
+	} {
+		got, err := ws.Window(age)
+		if err != nil {
+			t.Fatalf("age %d: %v", age, err)
+		}
+		want, _ := sk.SketchPairs(wantPairs)
+		for i := range got.Y {
+			if math.Abs(got.Y[i]-want.Y[i]) > 1e-12 {
+				t.Fatalf("age %d sketch mismatch", age)
+			}
+		}
+	}
+	if _, err := ws.Window(3); err == nil {
+		t.Fatal("age beyond history accepted")
+	}
+	if _, err := ws.Window(-1); err == nil {
+		t.Fatal("negative age accepted")
+	}
+}
+
+func TestWindowStoreRangeEqualsConcatenation(t *testing.T) {
+	sk, keys := windowFixture(t)
+	ws, _ := sk.NewWindowStore(4)
+	all := map[string]float64{}
+	add := func(k string, v float64) {
+		if err := ws.Observe(k, v); err != nil {
+			t.Fatal(err)
+		}
+		all[k] += v
+	}
+	add(keys[0], 5)
+	ws.Rotate()
+	add(keys[1], -2)
+	add(keys[0], 1)
+	ws.Rotate()
+	add(keys[2], 9)
+
+	span, err := ws.Range(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := sk.SketchPairs(all)
+	for i := range span.Y {
+		if math.Abs(span.Y[i]-want.Y[i]) > 1e-9 {
+			t.Fatal("range sketch != sketch of concatenated data")
+		}
+	}
+	// Sub-range excludes the open window.
+	sub, err := ws.Range(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSub, _ := sk.SketchPairs(map[string]float64{keys[0]: 6, keys[1]: -2})
+	for i := range sub.Y {
+		if math.Abs(sub.Y[i]-wantSub.Y[i]) > 1e-9 {
+			t.Fatal("sub-range mismatch")
+		}
+	}
+	if _, err := ws.Range(2, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := ws.Range(0, 9); err == nil {
+		t.Fatal("range beyond history accepted")
+	}
+}
+
+func TestWindowStoreEviction(t *testing.T) {
+	sk, keys := windowFixture(t)
+	ws, _ := sk.NewWindowStore(2)
+	if err := ws.Observe(keys[0], 100); err != nil {
+		t.Fatal(err)
+	}
+	ws.Rotate() // history: [empty(current), key0]
+	ws.Rotate() // key0 evicted
+	cur, err := ws.Window(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cur.Y {
+		if v != 0 {
+			t.Fatal("evicted window left residue")
+		}
+	}
+}
+
+func TestWindowStoreDetection(t *testing.T) {
+	// End to end: an anomaly only present in an old window is visible in
+	// the wide range query but not in the recent one.
+	sk, keys := windowFixture(t)
+	ws, _ := sk.NewWindowStore(3)
+	base := map[string]float64{}
+	for _, k := range keys {
+		base[k] = 50
+	}
+	if err := ws.ObserveBatch(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Observe(keys[7], 5000); err != nil { // anomaly in window A
+		t.Fatal(err)
+	}
+	ws.Rotate()
+	if err := ws.ObserveBatch(base); err != nil { // quiet window B
+		t.Fatal(err)
+	}
+
+	wide, err := ws.Range(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sk.Detect(wide, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outliers) == 0 || rep.Outliers[0].Key != keys[7] {
+		t.Fatalf("wide query missed the anomaly: %v", rep.Outliers)
+	}
+	recent, err := ws.Window(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRecent, err := sk.Detect(recent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repRecent.Outliers) > 0 && repRecent.Outliers[0].Key == keys[7] &&
+		math.Abs(repRecent.Outliers[0].Value-5050) < 1 {
+		t.Fatal("recent-window query sees the old anomaly")
+	}
+}
