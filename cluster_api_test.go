@@ -1,0 +1,161 @@
+package csoutlier
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"csoutlier/internal/cluster"
+	"csoutlier/internal/workload"
+)
+
+// startTestNodes serves count LocalNodes over real TCP, splitting global
+// across them, and returns their addresses.
+func startTestNodes(t *testing.T, global []float64, count int) []string {
+	t.Helper()
+	slices := workload.SplitZeroSumNoise(global, count, 100, 7)
+	addrs := make([]string, count)
+	for i, sl := range slices {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go cluster.Serve(ln, cluster.NewLocalNode(fmt.Sprintf("node-%d", i), sl))
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// deadAddr returns an address nothing is listening on.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestDetectClusterEndToEnd(t *testing.T) {
+	const n, k, mode = 300, 4, 750.0
+	keys := testKeys(n)
+	sk, err := NewSketcher(keys, Config{M: 90, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, _ := workload.MajorityDominated(n, k, mode, 120, 4000, 31)
+	addrs := startTestNodes(t, global, 3)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := sk.DetectCluster(ctx, addrs, k, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Included) != 3 || len(rep.Failed) != 0 {
+		t.Fatalf("included %v failed %v", rep.Included, rep.Failed)
+	}
+
+	// The distributed answer must match detection on the local aggregate.
+	y, err := sk.SketchVector(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sk.Detect(y, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := rep.Mode - local.Mode; diff < -1e-6 || diff > 1e-6 {
+		t.Fatalf("cluster mode %v, local mode %v", rep.Mode, local.Mode)
+	}
+	if len(rep.Outliers) != len(local.Outliers) {
+		t.Fatalf("outlier count %d vs %d", len(rep.Outliers), len(local.Outliers))
+	}
+	got := make(map[string]bool)
+	for _, o := range rep.Outliers {
+		got[o.Key] = true
+	}
+	for _, o := range local.Outliers {
+		if !got[o.Key] {
+			t.Fatalf("local outlier %q missing from cluster report", o.Key)
+		}
+	}
+	// Cost accounting: one round, three sketch messages, M floats each.
+	if rep.Stats.Rounds != 1 || rep.Stats.Messages != 3 {
+		t.Fatalf("stats %+v", rep.Stats)
+	}
+	if rep.Stats.Bytes != int64(3*8*sk.M()) {
+		t.Fatalf("bytes %d, want %d", rep.Stats.Bytes, 3*8*sk.M())
+	}
+	for _, nr := range rep.Nodes {
+		if !nr.Included || nr.Attempts != 1 || nr.ID == "" || nr.Bytes == 0 {
+			t.Fatalf("node report %+v", nr)
+		}
+	}
+}
+
+func TestDetectClusterQuorumSurvivesDeadNode(t *testing.T) {
+	const n, k = 200, 3
+	keys := testKeys(n)
+	sk, err := NewSketcher(keys, Config{M: 60, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, _ := workload.MajorityDominated(n, k, 500, 80, 3000, 13)
+	addrs := startTestNodes(t, global, 3)
+	addrs = append(addrs, deadAddr(t))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rep, err := sk.DetectCluster(ctx, addrs, k, ClusterOptions{MinNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Included) != 3 {
+		t.Fatalf("included %v", rep.Included)
+	}
+	if len(rep.Failed) != 1 || rep.Failed[0].Addr != addrs[3] || rep.Failed[0].Err == "" {
+		t.Fatalf("failed %+v", rep.Failed)
+	}
+	// The three live nodes hold the entire aggregate, so the answer is
+	// still exact.
+	y, _ := sk.SketchVector(global)
+	local, _ := sk.Detect(y, k)
+	if diff := rep.Mode - local.Mode; diff < -1e-6 || diff > 1e-6 {
+		t.Fatalf("cluster mode %v, local mode %v", rep.Mode, local.Mode)
+	}
+}
+
+func TestDetectClusterFailsBelowQuorum(t *testing.T) {
+	keys := testKeys(50)
+	sk, err := NewSketcher(keys, Config{M: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{deadAddr(t), deadAddr(t)}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	rep, err := sk.DetectCluster(ctx, addrs, 3, ClusterOptions{MinNodes: 1})
+	if err == nil {
+		t.Fatal("detection over only dead nodes succeeded")
+	}
+	if rep == nil || len(rep.Failed) != 2 {
+		t.Fatalf("partial report %+v", rep)
+	}
+}
+
+func TestDetectClusterValidatesArgs(t *testing.T) {
+	keys := testKeys(50)
+	sk, _ := NewSketcher(keys, Config{M: 20, Seed: 5})
+	if _, err := sk.DetectCluster(context.Background(), nil, 3, ClusterOptions{}); err == nil {
+		t.Fatal("empty addrs accepted")
+	}
+	if _, err := sk.DetectCluster(context.Background(), []string{"127.0.0.1:1"}, 0, ClusterOptions{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -41,6 +41,10 @@ func main() {
 		exact     = flag.Bool("exact", false, "also run the transmit-ALL baseline for comparison")
 		timeout   = flag.Duration("timeout", 0, "sketch-collection deadline; with -min-nodes, stragglers past it are dropped")
 		minNodes  = flag.Int("min-nodes", 0, "tolerate node failures: proceed once this many sketches arrived (0 = require all; sketch linearity makes the partial aggregate exact over the responders)")
+		nodeTO    = flag.Duration("node-timeout", 10*time.Second, "per-request deadline on each node RPC (0 = unbounded)")
+		attempts  = flag.Int("attempts", 2, "sketch attempts per node before it is declared failed")
+		retries   = flag.Int("retries", 2, "transport-level retries per RPC on a broken connection (re-dial with backoff)")
+		health    = flag.Bool("health", false, "print per-node transport health (attempts, retries, timeouts, RTT, bytes)")
 		ensemble  = flag.String("ensemble", "gaussian", "measurement ensemble: gaussian, sparse or srht")
 		sparseD   = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
 	)
@@ -60,15 +64,37 @@ func main() {
 		log.Fatalf("csagg: %v", err)
 	}
 
+	dialOpts := cluster.DialOptions{
+		RequestTimeout: *nodeTO,
+		MaxRetries:     *retries,
+	}
+	if *nodeTO == 0 {
+		dialOpts.RequestTimeout = -1 // unbounded
+	}
+	if *retries == 0 {
+		dialOpts.MaxRetries = -1 // "-retries 0" means none, not the default
+	}
+	addrs := strings.Split(*nodesFlag, ",")
 	var nodes []cluster.NodeAPI
-	for _, addr := range strings.Split(*nodesFlag, ",") {
-		rn, err := cluster.Dial(strings.TrimSpace(addr))
+	var remotes []*cluster.RemoteNode
+	for _, addr := range addrs {
+		rn, err := cluster.DialContext(context.Background(), strings.TrimSpace(addr), dialOpts)
 		if err != nil {
+			// With a quorum, an unreachable node is a tolerated failure,
+			// the same as one that dies mid-collection.
+			if *minNodes > 0 {
+				log.Printf("csagg: node %s excluded: %v", addr, err)
+				continue
+			}
 			log.Fatalf("csagg: %v", err)
 		}
 		defer rn.Close()
 		nodes = append(nodes, rn)
+		remotes = append(remotes, rn)
 		log.Printf("connected to node %q at %s", rn.ID(), addr)
+	}
+	if *minNodes > 0 && len(nodes) < *minNodes {
+		log.Fatalf("csagg: only %d/%d nodes reachable (need %d)", len(nodes), len(addrs), *minNodes)
 	}
 
 	kind, err := sensing.ParseKind(*ensemble)
@@ -89,7 +115,11 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		part, err := cluster.CollectSketchesCtxSpec(ctx, nodes, spec, cluster.CollectOptions{MinNodes: *minNodes})
+		part, err := cluster.CollectSketchesCtxSpec(ctx, nodes, spec, cluster.CollectOptions{
+			MinNodes:    *minNodes,
+			MaxAttempts: *attempts,
+			NodeTimeout: *nodeTO,
+		})
 		if err != nil {
 			log.Fatalf("csagg: collect: %v", err)
 		}
@@ -97,6 +127,12 @@ func main() {
 			log.Printf("csagg: node %s excluded: %v", id, ferr)
 		}
 		log.Printf("csagg: aggregate over %d/%d nodes: %v", len(part.Included), len(nodes), part.Included)
+		if *health {
+			for id, ns := range part.Nodes {
+				log.Printf("csagg: node %-12s ok=%-5v attempts=%d retries=%d timeouts=%d rtt=%v",
+					id, ns.OK, ns.Attempts, ns.Retries, ns.Timeouts, ns.RTT.Round(time.Microsecond))
+			}
+		}
 		res, err = cluster.DetectSketchSpec(part.Sketch, spec, *k, recovery.Options{MaxIterations: *iters})
 		if err != nil {
 			log.Fatalf("csagg: detect: %v", err)
@@ -120,6 +156,18 @@ func main() {
 		res.Mode, res.Recovery.Iterations, elapsed.Round(time.Millisecond))
 	fmt.Printf("communication: %d bytes in %d round (%.2f%% of transmit-ALL's %d bytes)\n",
 		res.Stats.Bytes, res.Stats.Rounds, 100*float64(res.Stats.Bytes)/float64(allBytes), allBytes)
+	if res.Stats.Attempts > 0 {
+		fmt.Printf("transport: %d attempts, %d retries, %d timeouts\n",
+			res.Stats.Attempts, res.Stats.Retries, res.Stats.Timeouts)
+	}
+	if *health {
+		for _, rn := range remotes {
+			h := rn.Health()
+			log.Printf("csagg: transport %-12s attempts=%d retries=%d timeouts=%d redials=%d failures=%d rtt(last/avg)=%v/%v wire(r/w)=%dB/%dB",
+				rn.ID(), h.Attempts, h.Retries, h.Timeouts, h.Redials, h.Failures,
+				h.LastRTT.Round(time.Microsecond), h.AvgRTT.Round(time.Microsecond), h.BytesRead, h.BytesWritten)
+		}
+	}
 	fmt.Printf("top-%d outliers (furthest from mode first):\n", *k)
 	for i, o := range res.Outliers {
 		fmt.Printf("  %2d. %-40s  value %.6g  (divergence %+.6g)\n",
@@ -147,7 +195,7 @@ func main() {
 	}
 
 	if *exact {
-		ex, err := baseline.All(nodes, *k)
+		ex, err := baseline.All(context.Background(), nodes, *k)
 		if err != nil {
 			log.Fatalf("csagg: exact baseline: %v", err)
 		}

@@ -43,6 +43,8 @@ func main() {
 		dataPath = flag.String("data", "", "local data CSV: key,value lines, or raw logs with -groupby")
 		groupBy  = flag.String("groupby", "", "comma-separated GROUP BY columns; switches -data to raw-log mode")
 		name     = flag.String("name", "", "node name (default: listen address)")
+		idleTO   = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
+		reqTO    = flag.Duration("request-timeout", 0, "per-request handling budget (0 = unbounded)")
 	)
 	flag.Parse()
 	if *dictPath == "" || *dataPath == "" {
@@ -73,7 +75,10 @@ func main() {
 		log.Fatalf("csnode: listen: %v", err)
 	}
 	log.Printf("csnode %q serving %d keys on %s", *name, dict.N(), ln.Addr())
-	if err := cluster.Serve(ln, node); err != nil {
+	if err := cluster.ServeWith(ln, node, cluster.ServeOptions{
+		IdleTimeout:    *idleTO,
+		RequestTimeout: *reqTO,
+	}); err != nil {
 		log.Fatalf("csnode: serve: %v", err)
 	}
 }

@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"csoutlier/internal/baseline"
 	"csoutlier/internal/cluster"
@@ -61,15 +63,45 @@ func main() {
 	fmt.Printf("\nCS (BOMP):   mode %.1f, %d bytes, %d round\n",
 		res.Mode, res.Stats.Bytes, res.Stats.Rounds)
 
-	// Baselines over the same connections.
-	all, err := baseline.All(remotes, k)
+	// Failure as the normal case: the same collection with a dead data
+	// center in the mix. The retrying quorum collector drops it, the
+	// partial sum is exactly the aggregate over the survivors, and the
+	// per-node stats say who cost what.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	withDead := append(append([]cluster.NodeAPI{}, remotes...), cluster.NewFaultyNode("dc-dead"))
+	part, err := cluster.CollectSketchesCtx(ctx, withDead, p, cluster.CollectOptions{
+		MinNodes:    nodes,
+		MaxAttempts: 2,
+		NodeTimeout: 2 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ALL:         mode %.1f, %d bytes, %d round (exact)\n",
+	fmt.Printf("\nfault-tolerant collection: %d/%d nodes in the aggregate (%d attempts, %d retries, %d timeouts)\n",
+		len(part.Included), len(withDead), part.Stats.Attempts, part.Stats.Retries, part.Stats.Timeouts)
+	for id, ferr := range part.Failed {
+		fmt.Printf("  excluded %-8s %v\n", id, ferr)
+	}
+	for _, id := range part.Included {
+		ns := part.Nodes[id]
+		fmt.Printf("  included %-8s rtt %8v  attempts %d\n", id, ns.RTT.Round(time.Microsecond), ns.Attempts)
+	}
+	pres, err := cluster.DetectSketch(part.Sketch, p, k, recovery.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  quorum aggregate recovers the same mode: %.1f\n", pres.Mode)
+
+	// Baselines over the same connections.
+	all, err := baseline.All(ctx, remotes, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nALL:         mode %.1f, %d bytes, %d round (exact)\n",
 		all.Mode, all.Stats.Bytes, all.Stats.Rounds)
 
-	kd, err := baseline.KDelta(remotes, baseline.KDeltaForBudget(res.Stats.Bytes, nodes, k, n, 5))
+	kd, err := baseline.KDelta(ctx, remotes, baseline.KDeltaForBudget(res.Stats.Bytes, nodes, k, n, 5))
 	if err != nil {
 		log.Fatal(err)
 	}

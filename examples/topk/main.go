@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,11 +57,12 @@ func main() {
 	api := wrap(slices)
 
 	fmt.Println("=== non-negative data: everyone agrees ===")
-	ta, err := baseline.TA(api, k)
+	ctx := context.Background()
+	ta, err := baseline.TA(ctx, api, k)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tput, err := baseline.TPUT(api, k)
+	tput, err := baseline.TPUT(ctx, api, k)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,10 +77,10 @@ func main() {
 	fmt.Println("\n=== signed data: partial sums no longer lower-bound totals ===")
 	signed := workload.SplitZeroSumNoise(global, nodes, 5, 77)
 	apiSigned := wrap(signed)
-	if _, err := baseline.TA(apiSigned, k); err != nil {
+	if _, err := baseline.TA(ctx, apiSigned, k); err != nil {
 		fmt.Printf("TA:    refused: %v\n", err)
 	}
-	if _, err := baseline.TPUT(apiSigned, k); err != nil {
+	if _, err := baseline.TPUT(ctx, apiSigned, k); err != nil {
 		fmt.Printf("TPUT:  refused: %v\n", err)
 	}
 	cs2 := csTopK(apiSigned, k)

@@ -6,6 +6,7 @@ package csoutlier
 // agree with each other and with the exact transmit-ALL baseline.
 
 import (
+	"context"
 	"math"
 	"net"
 	"testing"
@@ -117,7 +118,7 @@ func TestIntegrationAllSurfacesAgree(t *testing.T) {
 	for dc := 0; dc < dcs; dc++ {
 		locals[dc] = cluster.NewLocalNode("x", cl.Slices[dc])
 	}
-	exact, err := baseline.All(locals, k)
+	exact, err := baseline.All(context.Background(), locals, k)
 	if err != nil {
 		t.Fatal(err)
 	}

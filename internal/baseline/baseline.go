@@ -8,6 +8,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,14 +32,14 @@ type AllResult struct {
 // k-outlier query exactly. It is both the accuracy ground truth and the
 // communication-cost yardstick every other method is normalized against
 // (Figures 7–8 x-axes).
-func All(nodes []cluster.NodeAPI, k int) (*AllResult, error) {
+func All(ctx context.Context, nodes []cluster.NodeAPI, k int) (*AllResult, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("baseline: no nodes")
 	}
 	var global linalg.Vector
 	stats := cluster.CommStats{Rounds: 1}
 	for _, n := range nodes {
-		x, err := n.FullVector()
+		x, err := n.FullVector(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: node %s: %w", n.ID(), err)
 		}
@@ -120,7 +121,7 @@ type KDeltaResult struct {
 // Accuracy depends on how evenly the per-key values spread across nodes
 // (paper: big standard deviations → local outliers differ from global
 // ones → large errors), which is exactly what Figures 7–8 measure.
-func KDelta(nodes []cluster.NodeAPI, cfg KDeltaConfig) (*KDeltaResult, error) {
+func KDelta(ctx context.Context, nodes []cluster.NodeAPI, cfg KDeltaConfig) (*KDeltaResult, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("baseline: no nodes")
 	}
@@ -136,7 +137,7 @@ func KDelta(nodes []cluster.NodeAPI, cfg KDeltaConfig) (*KDeltaResult, error) {
 	sample := perm[:cfg.G]
 	sums := make([]float64, cfg.G)
 	for _, n := range nodes {
-		vs, err := n.SampleValues(sample)
+		vs, err := n.SampleValues(ctx, sample)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: node %s: %w", n.ID(), err)
 		}
@@ -164,7 +165,7 @@ func KDelta(nodes []cluster.NodeAPI, cfg KDeltaConfig) (*KDeltaResult, error) {
 	partial := make(map[int]float64)
 	seenCount := make(map[int]int)
 	for _, n := range nodes {
-		kvs, err := n.LocalOutliers(b/float64(l), fetch)
+		kvs, err := n.LocalOutliers(ctx, b/float64(l), fetch)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: node %s: %w", n.ID(), err)
 		}

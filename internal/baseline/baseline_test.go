@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -26,7 +27,7 @@ func TestAllExact(t *testing.T) {
 	const n, s, k = 400, 12, 5
 	global, _ := workload.MajorityDominated(n, s, 1800, 200, 900, 1)
 	nodes := makeNodes(t, global, 4, 400, 2)
-	res, err := All(nodes, k)
+	res, err := All(context.Background(), nodes, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestAllExact(t *testing.T) {
 }
 
 func TestAllNoNodes(t *testing.T) {
-	if _, err := All(nil, 3); err == nil {
+	if _, err := All(context.Background(), nil, 3); err == nil {
 		t.Fatal("no nodes accepted")
 	}
 }
@@ -59,7 +60,7 @@ func TestKDeltaRunsAndAccounts(t *testing.T) {
 	global, _ := workload.MajorityDominated(n, s, 1800, 300, 900, 3)
 	nodes := makeNodes(t, global, 5, 300, 4)
 	cfg := KDeltaConfig{K: k, Delta: 40, G: 25, N: n, Seed: 7}
-	res, err := KDelta(nodes, cfg)
+	res, err := KDelta(context.Background(), nodes, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestKDeltaWorseThanExactOnSkewedData(t *testing.T) {
 	const n, s, k = 600, 15, 10
 	global, _ := workload.MajorityDominated(n, s, 1800, 250, 600, 5)
 	nodes := makeNodes(t, global, 6, 900, 6)
-	res, err := KDelta(nodes, KDeltaConfig{K: k, Delta: 20, G: 10, N: n, Seed: 8})
+	res, err := KDelta(context.Background(), nodes, KDeltaConfig{K: k, Delta: 20, G: 10, N: n, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,13 +102,13 @@ func TestKDeltaWorseThanExactOnSkewedData(t *testing.T) {
 
 func TestKDeltaValidation(t *testing.T) {
 	nodes := makeNodes(t, make(linalg.Vector, 10), 2, 1, 9)
-	if _, err := KDelta(nodes, KDeltaConfig{K: 1, G: 0, N: 10}); err == nil {
+	if _, err := KDelta(context.Background(), nodes, KDeltaConfig{K: 1, G: 0, N: 10}); err == nil {
 		t.Fatal("G=0 accepted")
 	}
-	if _, err := KDelta(nodes, KDeltaConfig{K: 1, G: 11, N: 10}); err == nil {
+	if _, err := KDelta(context.Background(), nodes, KDeltaConfig{K: 1, G: 11, N: 10}); err == nil {
 		t.Fatal("G>N accepted")
 	}
-	if _, err := KDelta(nil, KDeltaConfig{K: 1, G: 1, N: 10}); err == nil {
+	if _, err := KDelta(context.Background(), nil, KDeltaConfig{K: 1, G: 1, N: 10}); err == nil {
 		t.Fatal("no nodes accepted")
 	}
 }
@@ -185,7 +186,7 @@ func trueTopK(global linalg.Vector, k int) []outlier.KV {
 func TestTAExactTopK(t *testing.T) {
 	nodes, global := nonNegativeWorkload(t, 300, 4, 10)
 	const k = 5
-	res, err := TA(nodes, k)
+	res, err := TA(context.Background(), nodes, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestTAExactTopK(t *testing.T) {
 func TestTPUTExactTopK(t *testing.T) {
 	nodes, global := nonNegativeWorkload(t, 300, 4, 11)
 	const k = 5
-	res, err := TPUT(nodes, k)
+	res, err := TPUT(context.Background(), nodes, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,20 +233,20 @@ func TestTATPUTRejectNegativeValues(t *testing.T) {
 	// silently answer wrong.
 	global, _ := workload.MajorityDominated(100, 5, 1800, 100, 500, 12)
 	nodes := makeNodes(t, global, 3, 900, 13) // zero-sum noise → negatives
-	if _, err := TA(nodes, 3); err != ErrNegativeValues {
+	if _, err := TA(context.Background(), nodes, 3); err != ErrNegativeValues {
 		t.Fatalf("TA err = %v, want ErrNegativeValues", err)
 	}
-	if _, err := TPUT(nodes, 3); err != ErrNegativeValues {
+	if _, err := TPUT(context.Background(), nodes, 3); err != ErrNegativeValues {
 		t.Fatalf("TPUT err = %v, want ErrNegativeValues", err)
 	}
 }
 
 func TestTAKValidation(t *testing.T) {
 	nodes, _ := nonNegativeWorkload(t, 50, 2, 14)
-	if _, err := TA(nodes, 0); err == nil {
+	if _, err := TA(context.Background(), nodes, 0); err == nil {
 		t.Fatal("k=0 accepted by TA")
 	}
-	if _, err := TPUT(nodes, 0); err == nil {
+	if _, err := TPUT(context.Background(), nodes, 0); err == nil {
 		t.Fatal("k=0 accepted by TPUT")
 	}
 }
@@ -255,11 +256,11 @@ func TestTPUTCheaperThanTAOnSkew(t *testing.T) {
 	// depth-dependent probing on the same data — the scalability point
 	// from §7.1. (Bytes may vary; assert rounds.)
 	nodes, _ := nonNegativeWorkload(t, 400, 5, 15)
-	ta, err := TA(nodes, 10)
+	ta, err := TA(context.Background(), nodes, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tp, err := TPUT(nodes, 10)
+	tp, err := TPUT(context.Background(), nodes, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

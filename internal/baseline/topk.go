@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,13 +30,13 @@ type topKView struct {
 	sorted []rankItem
 }
 
-func buildViews(nodes []cluster.NodeAPI, stats *cluster.CommStats) ([]*topKView, int, error) {
+func buildViews(ctx context.Context, nodes []cluster.NodeAPI, stats *cluster.CommStats) ([]*topKView, int, error) {
 	// Materializing the view costs nothing on the wire: it models the
 	// node's local sorted index. Only accesses are charged.
 	views := make([]*topKView, len(nodes))
 	n := -1
 	for i, node := range nodes {
-		x, err := node.FullVector()
+		x, err := node.FullVector(ctx)
 		if err != nil {
 			return nil, 0, fmt.Errorf("baseline: node %s: %w", node.ID(), err)
 		}
@@ -76,12 +77,12 @@ type TAResult struct {
 // sorted-access frontier). Exact for non-negative data; round count
 // scales with the depth reached, which is TA's scalability weakness the
 // paper cites.
-func TA(nodes []cluster.NodeAPI, k int) (*TAResult, error) {
+func TA(ctx context.Context, nodes []cluster.NodeAPI, k int) (*TAResult, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("baseline: k must be positive")
 	}
 	res := &TAResult{}
-	views, n, err := buildViews(nodes, &res.Stats)
+	views, n, err := buildViews(ctx, nodes, &res.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -150,12 +151,12 @@ type TPUTResult struct {
 // value ≥ τ/L and prunes candidates whose upper bound < τ; phase 3
 // random-accesses the survivors for exact sums. Exactly three rounds,
 // unlike TA's data-dependent depth.
-func TPUT(nodes []cluster.NodeAPI, k int) (*TPUTResult, error) {
+func TPUT(ctx context.Context, nodes []cluster.NodeAPI, k int) (*TPUTResult, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("baseline: k must be positive")
 	}
 	res := &TPUTResult{Stats: cluster.CommStats{Rounds: 3}}
-	views, n, err := buildViews(nodes, &res.Stats)
+	views, n, err := buildViews(ctx, nodes, &res.Stats)
 	if err != nil {
 		return nil, err
 	}

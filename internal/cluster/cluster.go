@@ -1,7 +1,8 @@
 // Package cluster is the distributed substrate of the reproduction: the
 // shared-nothing node/aggregator topology from the paper's §1 and §3, a
-// single-round sketch-collection protocol, and exact communication-cost
-// accounting using the paper's wire-size constants (§6.1.2).
+// single-round sketch-collection protocol with failure as the normal
+// case, and exact communication-cost accounting using the paper's
+// wire-size constants (§6.1.2).
 //
 // A node holds a vectorized local slice x_l (ordered by the global key
 // dictionary) and answers a small query API; the aggregator fans a
@@ -13,6 +14,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -32,23 +34,26 @@ const (
 
 // NodeAPI is the query surface a remote node exposes to the aggregator.
 // Every method is one message exchange; implementations must be safe for
-// concurrent use.
+// concurrent use and MUST honor context cancellation — when ctx is done,
+// a blocked call has to return promptly (with ctx.Err() or a wrapped
+// deadline error). The fault-tolerant collector relies on this to cancel
+// stragglers without leaking goroutines.
 type NodeAPI interface {
 	// ID identifies the node (e.g. a data-center name).
 	ID() string
 	// Sketch measures the local slice with the shared matrix spec
 	// (consensus parameters + ensemble) and returns y_l = Φ₀·x_l
 	// (paper §3.1 "Local Compression").
-	Sketch(spec sensing.Spec) (linalg.Vector, error)
+	Sketch(ctx context.Context, spec sensing.Spec) (linalg.Vector, error)
 	// FullVector returns the entire local slice — the transmit-ALL
 	// baseline's request.
-	FullVector() (linalg.Vector, error)
+	FullVector(ctx context.Context) (linalg.Vector, error)
 	// SampleValues returns the local values at the given key positions —
 	// round 1 of the K+δ baseline.
-	SampleValues(idx []int) ([]float64, error)
+	SampleValues(ctx context.Context, idx []int) ([]float64, error)
 	// LocalOutliers returns the node's top-count local outliers with
 	// respect to the supplied mode — round 3 of the K+δ baseline.
-	LocalOutliers(mode float64, count int) ([]outlier.KV, error)
+	LocalOutliers(ctx context.Context, mode float64, count int) ([]outlier.KV, error)
 }
 
 // LocalNode is an in-process NodeAPI over a vectorized slice.
@@ -70,7 +75,10 @@ func (n *LocalNode) ID() string { return n.name }
 // Sketch implements NodeAPI. The node regenerates Φ₀ from the consensus
 // spec; for the Gaussian family a small dense limit keeps node-side
 // memory at O(M)·small regardless of N.
-func (n *LocalNode) Sketch(spec sensing.Spec) (linalg.Vector, error) {
+func (n *LocalNode) Sketch(ctx context.Context, spec sensing.Spec) (linalg.Vector, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	if spec.N != len(n.x) {
@@ -84,14 +92,20 @@ func (n *LocalNode) Sketch(spec sensing.Spec) (linalg.Vector, error) {
 }
 
 // FullVector implements NodeAPI.
-func (n *LocalNode) FullVector() (linalg.Vector, error) {
+func (n *LocalNode) FullVector(ctx context.Context) (linalg.Vector, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return n.x.Clone(), nil
 }
 
 // SampleValues implements NodeAPI.
-func (n *LocalNode) SampleValues(idx []int) ([]float64, error) {
+func (n *LocalNode) SampleValues(ctx context.Context, idx []int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	out := make([]float64, len(idx))
@@ -105,7 +119,10 @@ func (n *LocalNode) SampleValues(idx []int) ([]float64, error) {
 }
 
 // LocalOutliers implements NodeAPI.
-func (n *LocalNode) LocalOutliers(mode float64, count int) ([]outlier.KV, error) {
+func (n *LocalNode) LocalOutliers(ctx context.Context, mode float64, count int) ([]outlier.KV, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	return outlier.TopK(n.x, mode, count), nil
@@ -125,12 +142,17 @@ func (n *LocalNode) Update(delta linalg.Vector) error {
 	return nil
 }
 
-// CommStats records the logical communication of one aggregation, in the
-// paper's cost model.
+// CommStats records the logical communication and the transport effort
+// of one aggregation. Bytes/Messages/Rounds use the paper's cost model;
+// the attempt counters come from the fault-tolerant collection path
+// (zero on the strict, non-retrying paths).
 type CommStats struct {
 	Bytes    int64 // total payload bytes, paper constants
 	Messages int   // node→aggregator or aggregator→node messages
 	Rounds   int   // protocol rounds (CS and ALL: 1; K+δ: 3)
+	Attempts int   // sketch RPCs attempted, including retries
+	Retries  int   // attempts beyond each node's first
+	Timeouts int   // attempts that died on a deadline
 }
 
 // Add accumulates other into s.
@@ -140,11 +162,16 @@ func (s *CommStats) Add(other CommStats) {
 	if other.Rounds > s.Rounds {
 		s.Rounds = other.Rounds
 	}
+	s.Attempts += other.Attempts
+	s.Retries += other.Retries
+	s.Timeouts += other.Timeouts
 }
 
 // CollectSketches asks every node for its sketch in parallel, sums them
 // into the global measurement y = Σ y_l (paper eq. 1), and accounts
-// L·M·8 bytes of communication in one round.
+// L·M·8 bytes of communication in one round. It is the strict (all
+// nodes must answer) path; CollectSketchesCtx adds deadlines, retries
+// and quorum semantics.
 func CollectSketches(nodes []NodeAPI, p sensing.Params) (linalg.Vector, CommStats, error) {
 	return CollectSketchesSpec(nodes, sensing.GaussianSpec(p))
 }
@@ -154,6 +181,7 @@ func CollectSketchesSpec(nodes []NodeAPI, spec sensing.Spec) (linalg.Vector, Com
 	if len(nodes) == 0 {
 		return nil, CommStats{}, fmt.Errorf("cluster: no nodes")
 	}
+	ctx := context.Background()
 	ys := make([]linalg.Vector, len(nodes))
 	errs := make([]error, len(nodes))
 	var wg sync.WaitGroup
@@ -161,7 +189,7 @@ func CollectSketchesSpec(nodes []NodeAPI, spec sensing.Spec) (linalg.Vector, Com
 		wg.Add(1)
 		go func(i int, node NodeAPI) {
 			defer wg.Done()
-			ys[i], errs[i] = node.Sketch(spec)
+			ys[i], errs[i] = node.Sketch(ctx, spec)
 		}(i, node)
 	}
 	wg.Wait()
@@ -171,9 +199,9 @@ func CollectSketchesSpec(nodes []NodeAPI, spec sensing.Spec) (linalg.Vector, Com
 		}
 	}
 	global := make(linalg.Vector, spec.M)
-	for _, y := range ys {
+	for i, y := range ys {
 		if len(y) != spec.M {
-			return nil, CommStats{}, fmt.Errorf("cluster: node %s returned sketch of length %d, want %d", nodes[0].ID(), len(y), spec.M)
+			return nil, CommStats{}, fmt.Errorf("cluster: node %s returned sketch of length %d, want %d", nodes[i].ID(), len(y), spec.M)
 		}
 		sensing.AddSketch(global, y)
 	}

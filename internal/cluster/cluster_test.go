@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"net"
 	"sort"
@@ -80,21 +81,21 @@ func TestDetectEndToEnd(t *testing.T) {
 
 func TestLocalNodeSampleValues(t *testing.T) {
 	n := NewLocalNode("x", linalg.Vector{10, 20, 30})
-	vs, err := n.SampleValues([]int{2, 0})
+	vs, err := n.SampleValues(context.Background(), []int{2, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if vs[0] != 30 || vs[1] != 10 {
 		t.Fatalf("SampleValues = %v", vs)
 	}
-	if _, err := n.SampleValues([]int{3}); err == nil {
+	if _, err := n.SampleValues(context.Background(), []int{3}); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
 }
 
 func TestLocalNodeLocalOutliers(t *testing.T) {
 	n := NewLocalNode("x", linalg.Vector{5, 5, 100, 5, -60})
-	kvs, err := n.LocalOutliers(5, 1)
+	kvs, err := n.LocalOutliers(context.Background(), 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestLocalNodeUpdateChangesSketch(t *testing.T) {
 	p := sensing.Params{M: 30, N: 50, Seed: 3}
 	x, _ := workload.MajorityDominated(50, 3, 100, 10, 40, 4)
 	n := NewLocalNode("x", x.Clone())
-	before, err := n.Sketch(sensing.GaussianSpec(p))
+	before, err := n.Sketch(context.Background(), sensing.GaussianSpec(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestLocalNodeUpdateChangesSketch(t *testing.T) {
 	if err := n.Update(delta); err != nil {
 		t.Fatal(err)
 	}
-	after, err := n.Sketch(sensing.GaussianSpec(p))
+	after, err := n.Sketch(context.Background(), sensing.GaussianSpec(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestNodeRemovalBySketchSubtraction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	leaving, err := nodes[3].Sketch(sensing.GaussianSpec(p))
+	leaving, err := nodes[3].Sketch(context.Background(), sensing.GaussianSpec(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestTCPTransportAllMethods(t *testing.T) {
 		t.Fatalf("ID = %q", rn.ID())
 	}
 	p := sensing.Params{M: 3, N: 5, Seed: 12}
-	y, err := rn.Sketch(sensing.GaussianSpec(p))
+	y, err := rn.Sketch(context.Background(), sensing.GaussianSpec(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,21 +191,21 @@ func TestTCPTransportAllMethods(t *testing.T) {
 	if !y.Equal(d.Measure(x, nil), 1e-9) {
 		t.Fatal("remote sketch mismatch")
 	}
-	full, err := rn.FullVector()
+	full, err := rn.FullVector(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !full.Equal(x, 0) {
 		t.Fatal("remote full vector mismatch")
 	}
-	vs, err := rn.SampleValues([]int{4, 2})
+	vs, err := rn.SampleValues(context.Background(), []int{4, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if vs[0] != -60 || vs[1] != 100 {
 		t.Fatalf("remote SampleValues = %v", vs)
 	}
-	kvs, err := rn.LocalOutliers(5, 2)
+	kvs, err := rn.LocalOutliers(context.Background(), 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,11 +213,11 @@ func TestTCPTransportAllMethods(t *testing.T) {
 		t.Fatalf("remote LocalOutliers = %v", kvs)
 	}
 	// Errors must propagate as errors, not crashes.
-	if _, err := rn.Sketch(sensing.GaussianSpec(sensing.Params{M: 3, N: 99, Seed: 1})); err == nil {
+	if _, err := rn.Sketch(context.Background(), sensing.GaussianSpec(sensing.Params{M: 3, N: 99, Seed: 1})); err == nil {
 		t.Fatal("remote dimension error not propagated")
 	}
 	// The connection must survive an error response.
-	if _, err := rn.FullVector(); err != nil {
+	if _, err := rn.FullVector(context.Background()); err != nil {
 		t.Fatalf("connection broken after error: %v", err)
 	}
 }

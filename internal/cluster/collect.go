@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"csoutlier/internal/linalg"
 	"csoutlier/internal/outlier"
@@ -20,6 +22,35 @@ type CollectOptions struct {
 	// those nodes (the paper's node-removal property, §1 challenge 3),
 	// so an outage shrinks the data window instead of failing the query.
 	MinNodes int
+	// MaxAttempts is how many times each node's sketch is requested
+	// before the node is declared failed (0 = default 2). The TCP
+	// transport additionally retries broken connections internally; this
+	// level retries application failures and re-polls flaky nodes.
+	MaxAttempts int
+	// NodeTimeout bounds each individual attempt (0 = only the overall
+	// ctx limits it). A straggler past the per-attempt deadline is
+	// retried; one past the overall deadline is dropped.
+	NodeTimeout time.Duration
+	// RetryBackoff is the base delay between a node's attempts; it grows
+	// exponentially with full jitter (0 = default 50ms).
+	RetryBackoff time.Duration
+	// MaxBackoff caps the retry delay (0 = default 1s).
+	MaxBackoff time.Duration
+	// QuorumGrace, when positive, bounds how long the collector keeps
+	// waiting for stragglers once MinNodes responses are in: after the
+	// grace elapses, in-flight requests are cancelled and the quorum
+	// aggregate is returned. 0 waits for all nodes or the overall ctx.
+	QuorumGrace time.Duration
+}
+
+// NodeStats reports one node's behaviour during a collection.
+type NodeStats struct {
+	Attempts int           // sketch attempts made against this node
+	Retries  int           // attempts beyond the first
+	Timeouts int           // attempts that died on a deadline
+	RTT      time.Duration // round-trip time of the last attempt
+	OK       bool          // whether a sketch was obtained
+	Err      string        // terminal error when OK is false
 }
 
 // PartialResult reports a fault-tolerant collection.
@@ -27,14 +58,18 @@ type PartialResult struct {
 	Sketch   linalg.Vector
 	Included []string // node IDs whose sketches are in the sum
 	Failed   map[string]error
+	Nodes    map[string]NodeStats // per-node health/latency
 	Stats    CommStats
 }
 
-// CollectSketchesCtx gathers sketches in parallel with cancellation and
-// straggler tolerance. It returns early with an error when the context
-// is cancelled or when too few nodes respond; otherwise it sums whatever
-// subset responded (at least opts.MinNodes) and reports the exact
-// membership of the aggregate.
+// CollectSketchesCtx gathers sketches in parallel with cancellation,
+// per-node retries and straggler tolerance. It returns early with an
+// error when the context is cancelled or when too few nodes respond;
+// otherwise it sums whatever subset responded (at least opts.MinNodes)
+// and reports the exact membership of the aggregate plus per-node
+// health. On return, every goroutine it started has exited and every
+// in-flight request has been cancelled — nothing leaks, provided node
+// implementations honor ctx (NodeAPI's contract).
 func CollectSketchesCtx(ctx context.Context, nodes []NodeAPI, p sensing.Params, opts CollectOptions) (*PartialResult, error) {
 	return CollectSketchesCtxSpec(ctx, nodes, sensing.GaussianSpec(p), opts)
 }
@@ -48,54 +83,141 @@ func CollectSketchesCtxSpec(ctx context.Context, nodes []NodeAPI, spec sensing.S
 	if min <= 0 || min > len(nodes) {
 		min = len(nodes)
 	}
-
-	type resp struct {
-		id  string
-		y   linalg.Vector
-		err error
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 2
 	}
-	ch := make(chan resp, len(nodes))
+	baseBackoff := opts.RetryBackoff
+	if baseBackoff <= 0 {
+		baseBackoff = 50 * time.Millisecond
+	}
+	maxBackoff := opts.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = time.Second
+	}
+
+	// inner is cancelled the moment the collector decides to stop —
+	// overall deadline, quorum grace expiry, or normal completion — so
+	// in-flight node.Sketch calls unblock and their goroutines exit.
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type report struct {
+		id string
+		y  linalg.Vector
+		ns NodeStats
+	}
+	// Buffered to len(nodes): a worker can always deliver its final
+	// report and exit, even after the collector stopped receiving.
+	ch := make(chan report, len(nodes))
 	for _, node := range nodes {
 		go func(node NodeAPI) {
-			y, err := node.Sketch(spec)
-			select {
-			case ch <- resp{id: node.ID(), y: y, err: err}:
-			case <-ctx.Done():
+			var ns NodeStats
+			var y linalg.Vector
+			for attempt := 1; attempt <= maxAttempts; attempt++ {
+				if attempt > 1 {
+					ns.Retries++
+					if sleepCtx(inner, backoffDelay(attempt-1, baseBackoff, maxBackoff)) != nil {
+						break
+					}
+				}
+				if err := inner.Err(); err != nil {
+					if ns.Err == "" {
+						ns.Err = err.Error()
+					}
+					break
+				}
+				actx := inner
+				acancel := func() {}
+				if opts.NodeTimeout > 0 {
+					actx, acancel = context.WithTimeout(inner, opts.NodeTimeout)
+				}
+				start := time.Now()
+				v, err := node.Sketch(actx, spec)
+				ns.RTT = time.Since(start)
+				ns.Attempts++
+				acancel()
+				if err == nil && len(v) != spec.M {
+					err = fmt.Errorf("sketch length %d, want %d", len(v), spec.M)
+				}
+				if err == nil {
+					y = v
+					ns.OK = true
+					ns.Err = ""
+					break
+				}
+				ns.Err = err.Error()
+				if isTimeout(err) {
+					ns.Timeouts++
+				}
 			}
+			if !ns.OK && ns.Err == "" {
+				ns.Err = "cancelled before first attempt"
+			}
+			ch <- report{id: node.ID(), y: y, ns: ns}
 		}(node)
 	}
 
 	res := &PartialResult{
 		Sketch: make(linalg.Vector, spec.M),
 		Failed: make(map[string]error),
+		Nodes:  make(map[string]NodeStats, len(nodes)),
 		Stats:  CommStats{Rounds: 1},
 	}
-	for received := 0; received < len(nodes); received++ {
-		select {
-		case <-ctx.Done():
-			// Timed out: usable if the quorum already arrived.
-			if len(res.Included) >= min {
-				sort.Strings(res.Included)
-				return res, nil
-			}
-			return nil, fmt.Errorf("cluster: context done with %d/%d responses (need %d): %w",
-				len(res.Included), len(nodes), min, ctx.Err())
-		case r := <-ch:
-			if r.err != nil {
-				res.Failed[r.id] = r.err
-				continue
-			}
-			if len(r.y) != spec.M {
-				res.Failed[r.id] = fmt.Errorf("sketch length %d, want %d", len(r.y), spec.M)
-				continue
-			}
+	record := func(r report) {
+		res.Nodes[r.id] = r.ns
+		res.Stats.Attempts += r.ns.Attempts
+		res.Stats.Retries += r.ns.Retries
+		res.Stats.Timeouts += r.ns.Timeouts
+		if r.ns.OK {
 			sensing.AddSketch(res.Sketch, r.y)
 			res.Included = append(res.Included, r.id)
 			res.Stats.Bytes += sensing.SketchBytes(spec.M)
 			res.Stats.Messages++
+		} else {
+			res.Failed[r.id] = errors.New(r.ns.Err)
 		}
 	}
+
+	received := 0
+	timedOut := false
+	var graceTimer *time.Timer
+	var grace <-chan time.Time
+loop:
+	for received < len(nodes) {
+		select {
+		case <-ctx.Done():
+			timedOut = true
+			break loop
+		case <-grace:
+			break loop
+		case r := <-ch:
+			received++
+			record(r)
+			if opts.QuorumGrace > 0 && grace == nil && len(res.Included) >= min && received < len(nodes) {
+				graceTimer = time.NewTimer(opts.QuorumGrace)
+				grace = graceTimer.C
+			}
+		}
+	}
+	if graceTimer != nil {
+		graceTimer.Stop()
+	}
+	// Stop every in-flight request and reap every worker: each one is
+	// guaranteed a slot in the buffered channel, so draining to
+	// len(nodes) reports means all goroutines have finished their work.
+	cancel()
+	for received < len(nodes) {
+		r := <-ch
+		received++
+		record(r)
+	}
+
 	if len(res.Included) < min {
+		if timedOut {
+			return nil, fmt.Errorf("cluster: context done with %d/%d responses (need %d): %w",
+				len(res.Included), len(nodes), min, ctx.Err())
+		}
 		return nil, fmt.Errorf("cluster: only %d/%d nodes responded (need %d); failures: %v",
 			len(res.Included), len(nodes), min, res.Failed)
 	}
@@ -113,15 +235,15 @@ type faultyNode struct {
 func NewFaultyNode(name string) NodeAPI { return &faultyNode{name: name} }
 
 func (f *faultyNode) ID() string { return f.name }
-func (f *faultyNode) Sketch(sensing.Spec) (linalg.Vector, error) {
+func (f *faultyNode) Sketch(context.Context, sensing.Spec) (linalg.Vector, error) {
 	return nil, fmt.Errorf("cluster: node %s unavailable", f.name)
 }
-func (f *faultyNode) FullVector() (linalg.Vector, error) {
+func (f *faultyNode) FullVector(context.Context) (linalg.Vector, error) {
 	return nil, fmt.Errorf("cluster: node %s unavailable", f.name)
 }
-func (f *faultyNode) SampleValues([]int) ([]float64, error) {
+func (f *faultyNode) SampleValues(context.Context, []int) ([]float64, error) {
 	return nil, fmt.Errorf("cluster: node %s unavailable", f.name)
 }
-func (f *faultyNode) LocalOutliers(float64, int) ([]outlier.KV, error) {
+func (f *faultyNode) LocalOutliers(context.Context, float64, int) ([]outlier.KV, error) {
 	return nil, fmt.Errorf("cluster: node %s unavailable", f.name)
 }

@@ -62,15 +62,20 @@ func TestCollectCtxFailsBelowQuorum(t *testing.T) {
 	}
 }
 
-// slowNode delays each sketch until released.
+// slowNode delays each sketch until released (honoring ctx, per the
+// NodeAPI contract).
 type slowNode struct {
 	*LocalNode
 	release chan struct{}
 }
 
-func (s *slowNode) Sketch(spec sensing.Spec) (linalg.Vector, error) {
-	<-s.release
-	return s.LocalNode.Sketch(spec)
+func (s *slowNode) Sketch(ctx context.Context, spec sensing.Spec) (linalg.Vector, error) {
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.LocalNode.Sketch(ctx, spec)
 }
 
 func TestCollectCtxStragglerTimeout(t *testing.T) {

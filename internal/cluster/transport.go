@@ -1,12 +1,16 @@
 package cluster
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"csoutlier/internal/linalg"
 	"csoutlier/internal/outlier"
@@ -19,6 +23,13 @@ import (
 // This is the real-network counterpart of LocalNode, used by cmd/csnode
 // and cmd/csagg; the geo-distributed deployment of the paper's §1 maps
 // one csnode process to one data center.
+//
+// Failure is treated as the normal case (§1 challenges 2–3): every
+// round-trip carries a deadline, a connection whose gob stream errored
+// mid-exchange is poisoned and transparently re-dialed (the encoder and
+// decoder of a broken stream are never reused — a half-written frame
+// would desync every later request), and the client keeps per-node
+// health counters the aggregator can surface.
 
 type reqKind uint8
 
@@ -45,50 +56,77 @@ type response struct {
 	KVs  []outlier.KV
 }
 
+// ServeOptions tunes the node-side server.
+type ServeOptions struct {
+	// IdleTimeout bounds how long a connection may sit between requests
+	// (and how long one request frame may take to arrive). 0 = no limit.
+	IdleTimeout time.Duration
+	// RequestTimeout bounds the handling of a single request via the
+	// context handed to the NodeAPI implementation. 0 = no limit.
+	RequestTimeout time.Duration
+}
+
 // Serve answers NodeAPI requests for node on the listener until the
 // listener is closed. It returns the first accept error (including the
 // closed-listener error on shutdown).
 func Serve(ln net.Listener, node NodeAPI) error {
+	return ServeWith(ln, node, ServeOptions{})
+}
+
+// ServeWith is Serve with explicit timeouts.
+func ServeWith(ln net.Listener, node NodeAPI, opts ServeOptions) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go serveConn(conn, node)
+		go serveConn(conn, node, opts)
 	}
 }
 
-func serveConn(conn net.Conn, node NodeAPI) {
+func serveConn(conn net.Conn, node NodeAPI, opts ServeOptions) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return // client went away (io.EOF) or sent garbage
+			return // client went away (io.EOF), idled out, or sent garbage
 		}
-		resp := handle(node, &req)
+		if opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Time{})
+		}
+		ctx := context.Background()
+		cancel := func() {}
+		if opts.RequestTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, opts.RequestTimeout)
+		}
+		resp := handle(ctx, node, &req)
+		cancel()
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
-func handle(node NodeAPI, req *request) *response {
+func handle(ctx context.Context, node NodeAPI, req *request) *response {
 	switch req.Kind {
 	case reqID:
 		return &response{Name: node.ID()}
 	case reqSketch:
-		y, err := node.Sketch(req.Spec)
+		y, err := node.Sketch(ctx, req.Spec)
 		return vecResp(y, err)
 	case reqFull:
-		x, err := node.FullVector()
+		x, err := node.FullVector(ctx)
 		return vecResp(x, err)
 	case reqSample:
-		vs, err := node.SampleValues(req.Indices)
+		vs, err := node.SampleValues(ctx, req.Indices)
 		return vecResp(vs, err)
 	case reqOutliers:
-		kvs, err := node.LocalOutliers(req.Mode, req.Count)
+		kvs, err := node.LocalOutliers(ctx, req.Mode, req.Count)
 		if err != nil {
 			return &response{Err: err.Error()}
 		}
@@ -105,63 +143,359 @@ func vecResp(v []float64, err error) *response {
 	return &response{Vec: v}
 }
 
-// RemoteNode is a NodeAPI over a TCP connection to a Serve-d node.
+// DialOptions tunes the client side of the transport. The zero value
+// gets production-safe defaults.
+type DialOptions struct {
+	// DialTimeout bounds each TCP dial attempt (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout is the per-round-trip deadline applied when the
+	// caller's context carries none (default 30s; <0 disables).
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a round-trip is retried on a fresh
+	// connection after a transport failure (default 2; <0 disables).
+	MaxRetries int
+	// BaseBackoff is the first retry delay; it doubles per retry with
+	// full jitter (default 25ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the retry delay (default 1s).
+	MaxBackoff time.Duration
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	return o
+}
+
+// NodeHealth is a snapshot of one RemoteNode's transport counters.
+type NodeHealth struct {
+	Attempts     int           // round-trips started, including retries
+	Retries      int           // round-trips beyond a request's first attempt
+	Timeouts     int           // attempts that died on a deadline
+	Redials      int           // connections re-established after a poisoned one
+	Failures     int           // requests that exhausted retries (errors seen by callers)
+	BytesRead    int64         // raw wire bytes received
+	BytesWritten int64         // raw wire bytes sent
+	LastRTT      time.Duration // round-trip time of the most recent completed exchange
+	AvgRTT       time.Duration // mean round-trip time over completed exchanges
+}
+
+// countingConn counts raw wire bytes into a RemoteNode's health.
+type countingConn struct {
+	net.Conn
+	r, w *int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	atomic.AddInt64(c.r, int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	atomic.AddInt64(c.w, int64(n))
+	return n, err
+}
+
+// RemoteNode is a NodeAPI over a TCP connection to a Serve-d node. A
+// transport failure poisons the current connection; the next attempt
+// (within the same request, up to MaxRetries, or a later request)
+// transparently re-dials.
 type RemoteNode struct {
-	mu   sync.Mutex // the protocol is strictly request/response
-	conn net.Conn
-	dec  *gob.Decoder
-	enc  *gob.Encoder
+	addr string
+	opts DialOptions
 	name string
+
+	mu sync.Mutex // serializes round-trips: the protocol is strictly request/response
+
+	connMu sync.Mutex // guards conn/enc/dec/closed; Close may race a round-trip
+	conn   net.Conn
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	closed bool
+
+	bytesRead    int64 // atomic
+	bytesWritten int64 // atomic
+
+	hmu      sync.Mutex
+	health   NodeHealth
+	okCount  int64
+	totalRTT time.Duration
 }
 
 // Dial connects to a node served at addr and fetches its ID.
 func Dial(addr string) (*RemoteNode, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
-	}
-	rn := &RemoteNode{
-		conn: conn,
-		dec:  gob.NewDecoder(conn),
-		enc:  gob.NewEncoder(conn),
-	}
-	resp, err := rn.roundTrip(&request{Kind: reqID})
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	rn.name = resp.Name
-	return rn, nil
+	return DialContext(context.Background(), addr, DialOptions{})
 }
 
-// Close releases the connection.
-func (r *RemoteNode) Close() error { return r.conn.Close() }
+// DialContext is Dial with a context and explicit transport options.
+func DialContext(ctx context.Context, addr string, opts DialOptions) (*RemoteNode, error) {
+	r := &RemoteNode{addr: addr, opts: opts.withDefaults()}
+	resp, err := r.roundTrip(ctx, &request{Kind: reqID})
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	r.name = resp.Name
+	return r, nil
+}
 
-func (r *RemoteNode) roundTrip(req *request) (*response, error) {
+// Addr returns the address the node was dialed at.
+func (r *RemoteNode) Addr() string { return r.addr }
+
+// Health returns a snapshot of the node's transport counters.
+func (r *RemoteNode) Health() NodeHealth {
+	r.hmu.Lock()
+	defer r.hmu.Unlock()
+	h := r.health
+	h.BytesRead = atomic.LoadInt64(&r.bytesRead)
+	h.BytesWritten = atomic.LoadInt64(&r.bytesWritten)
+	if r.okCount > 0 {
+		h.AvgRTT = r.totalRTT / time.Duration(r.okCount)
+	}
+	return h
+}
+
+// Close releases the connection. An in-flight round-trip observes a
+// closed-connection error.
+func (r *RemoteNode) Close() error {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	r.closed = true
+	if r.conn != nil {
+		err := r.conn.Close()
+		r.conn = nil
+		return err
+	}
+	return nil
+}
+
+// errClosed is returned for requests on an explicitly-Closed node.
+var errClosed = errors.New("cluster: node is closed")
+
+// acquireConn returns the live connection, dialing a fresh one if the
+// previous one was poisoned. Called with r.mu held.
+func (r *RemoteNode) acquireConn(ctx context.Context) (net.Conn, *gob.Encoder, *gob.Decoder, error) {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if r.closed {
+		return nil, nil, nil, errClosed
+	}
+	if r.conn != nil {
+		return r.conn, r.enc, r.dec, nil
+	}
+	dctx := ctx
+	if r.opts.DialTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, r.opts.DialTimeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(dctx, "tcp", r.addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cc := &countingConn{Conn: conn, r: &r.bytesRead, w: &r.bytesWritten}
+	// A fresh gob encoder/decoder pair per connection: gob streams are
+	// stateful (type descriptors), so they can never outlive their conn.
+	r.conn, r.enc, r.dec = cc, gob.NewEncoder(cc), gob.NewDecoder(cc)
+	return r.conn, r.enc, r.dec, nil
+}
+
+// poison discards conn if it is still the node's live connection, so the
+// next attempt re-dials instead of reusing a desynced gob stream.
+func (r *RemoteNode) poison(conn net.Conn) {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if r.conn == conn && conn != nil {
+		conn.Close()
+		r.conn, r.enc, r.dec = nil, nil, nil
+	}
+}
+
+func (r *RemoteNode) roundTrip(ctx context.Context, req *request) (*response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("cluster: send: %w", err)
-	}
-	var resp response
-	if err := r.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("cluster: node closed connection")
+	var lastErr error
+	hadConn := false
+	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.note(func(h *NodeHealth) { h.Retries++ })
+			if err := sleepCtx(ctx, backoffDelay(attempt, r.opts.BaseBackoff, r.opts.MaxBackoff)); err != nil {
+				r.note(func(h *NodeHealth) { h.Failures++ })
+				return nil, fmt.Errorf("cluster: %s: %w (last transport error: %v)", r.addr, err, lastErr)
+			}
 		}
-		return nil, fmt.Errorf("cluster: receive: %w", err)
+		if err := ctx.Err(); err != nil {
+			r.note(func(h *NodeHealth) { h.Failures++ })
+			return nil, err
+		}
+		conn, enc, dec, err := r.acquireConn(ctx)
+		if err != nil {
+			if errors.Is(err, errClosed) {
+				return nil, err
+			}
+			lastErr = fmt.Errorf("dial: %w", err)
+			r.note(func(h *NodeHealth) {
+				h.Attempts++
+				if isTimeout(err) {
+					h.Timeouts++
+				}
+			})
+			continue
+		}
+		if hadConn {
+			r.note(func(h *NodeHealth) { h.Redials++ })
+		}
+		hadConn = true
+		resp, rtt, err := r.exchange(ctx, conn, enc, dec, req)
+		if err == nil {
+			r.note(func(h *NodeHealth) {
+				h.Attempts++
+				h.LastRTT = rtt
+			})
+			r.hmu.Lock()
+			r.okCount++
+			r.totalRTT += rtt
+			r.hmu.Unlock()
+			if resp.Err != "" {
+				// Application-level error: the stream is still in sync,
+				// so the connection stays usable — fail without retry.
+				return nil, errors.New(resp.Err)
+			}
+			return resp, nil
+		}
+		// Transport error: the gob stream may hold a half-written frame.
+		// Poison the connection; a retry starts from a clean dial.
+		r.poison(conn)
+		lastErr = err
+		r.note(func(h *NodeHealth) {
+			h.Attempts++
+			if isTimeout(err) {
+				h.Timeouts++
+			}
+		})
+		if cerr := ctx.Err(); cerr != nil {
+			r.note(func(h *NodeHealth) { h.Failures++ })
+			return nil, fmt.Errorf("cluster: %s: %w (transport: %v)", r.addr, cerr, err)
+		}
 	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+	r.note(func(h *NodeHealth) { h.Failures++ })
+	return nil, fmt.Errorf("cluster: %s: giving up after %d attempts: %w", r.addr, r.opts.MaxRetries+1, lastErr)
+}
+
+// exchange runs one encode/decode pair under the request deadline.
+func (r *RemoteNode) exchange(ctx context.Context, conn net.Conn, enc *gob.Encoder, dec *gob.Decoder, req *request) (*response, time.Duration, error) {
+	deadline := time.Time{}
+	if r.opts.RequestTimeout > 0 {
+		deadline = time.Now().Add(r.opts.RequestTimeout)
 	}
-	return &resp, nil
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+	// Watchdog: a context cancel must unblock a read that is parked on a
+	// hung node before its deadline fires.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
+	start := time.Now()
+	var resp response
+	err := func() error {
+		if err := enc.Encode(req); err != nil {
+			return fmt.Errorf("cluster: send: %w", err)
+		}
+		if err := dec.Decode(&resp); err != nil {
+			if errors.Is(err, io.EOF) {
+				return errors.New("cluster: node closed connection")
+			}
+			return fmt.Errorf("cluster: receive: %w", err)
+		}
+		return nil
+	}()
+	close(stop)
+	<-done
+	return &resp, time.Since(start), err
+}
+
+func (r *RemoteNode) note(f func(*NodeHealth)) {
+	r.hmu.Lock()
+	f(&r.health)
+	r.hmu.Unlock()
+}
+
+// isTimeout reports whether err is a deadline expiry, on the wire or in
+// a context.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// backoffDelay is exponential backoff with full jitter: attempt n waits
+// a uniform draw from (base·2ⁿ⁻¹/2, base·2ⁿ⁻¹], capped at max.
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
 }
 
 // ID implements NodeAPI.
 func (r *RemoteNode) ID() string { return r.name }
 
 // Sketch implements NodeAPI.
-func (r *RemoteNode) Sketch(spec sensing.Spec) (linalg.Vector, error) {
-	resp, err := r.roundTrip(&request{Kind: reqSketch, Spec: spec})
+func (r *RemoteNode) Sketch(ctx context.Context, spec sensing.Spec) (linalg.Vector, error) {
+	resp, err := r.roundTrip(ctx, &request{Kind: reqSketch, Spec: spec})
 	if err != nil {
 		return nil, err
 	}
@@ -169,8 +503,8 @@ func (r *RemoteNode) Sketch(spec sensing.Spec) (linalg.Vector, error) {
 }
 
 // FullVector implements NodeAPI.
-func (r *RemoteNode) FullVector() (linalg.Vector, error) {
-	resp, err := r.roundTrip(&request{Kind: reqFull})
+func (r *RemoteNode) FullVector(ctx context.Context) (linalg.Vector, error) {
+	resp, err := r.roundTrip(ctx, &request{Kind: reqFull})
 	if err != nil {
 		return nil, err
 	}
@@ -178,8 +512,8 @@ func (r *RemoteNode) FullVector() (linalg.Vector, error) {
 }
 
 // SampleValues implements NodeAPI.
-func (r *RemoteNode) SampleValues(idx []int) ([]float64, error) {
-	resp, err := r.roundTrip(&request{Kind: reqSample, Indices: idx})
+func (r *RemoteNode) SampleValues(ctx context.Context, idx []int) ([]float64, error) {
+	resp, err := r.roundTrip(ctx, &request{Kind: reqSample, Indices: idx})
 	if err != nil {
 		return nil, err
 	}
@@ -187,8 +521,8 @@ func (r *RemoteNode) SampleValues(idx []int) ([]float64, error) {
 }
 
 // LocalOutliers implements NodeAPI.
-func (r *RemoteNode) LocalOutliers(mode float64, count int) ([]outlier.KV, error) {
-	resp, err := r.roundTrip(&request{Kind: reqOutliers, Mode: mode, Count: count})
+func (r *RemoteNode) LocalOutliers(ctx context.Context, mode float64, count int) ([]outlier.KV, error) {
+	resp, err := r.roundTrip(ctx, &request{Kind: reqOutliers, Mode: mode, Count: count})
 	if err != nil {
 		return nil, err
 	}

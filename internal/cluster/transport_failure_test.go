@@ -1,0 +1,436 @@
+package cluster
+
+import (
+	"context"
+	"encoding/gob"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/workload"
+)
+
+// chaosServer speaks the wire protocol but misbehaves on sketch requests
+// on demand — the wedged, crashed and byzantine data centers the client
+// hardening exists for. ID requests are always answered, so dialing
+// succeeds and the failure surfaces mid-collection, where it is hardest.
+type chaosServer struct {
+	t    *testing.T
+	node NodeAPI
+	addr string
+
+	mode      atomic.Int32 // behave* below
+	failFirst atomic.Int32 // close the conn on this many sketch requests first
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	done  chan struct{} // closed on Stop; releases hung responses
+}
+
+const (
+	behaveOK int32 = iota
+	behaveHang
+	behaveGarbage
+	behaveCrash
+)
+
+func startChaos(t *testing.T, node NodeAPI) *chaosServer {
+	t.Helper()
+	s := &chaosServer{t: t, node: node, conns: make(map[net.Conn]struct{})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.addr = ln.Addr().String()
+	s.run(ln)
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func (s *chaosServer) run(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.done = make(chan struct{})
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns[conn] = struct{}{}
+			done := s.done
+			s.mu.Unlock()
+			go s.serve(conn, done)
+		}
+	}()
+}
+
+func (s *chaosServer) serve(conn net.Conn, done chan struct{}) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if dec.Decode(&req) != nil {
+			return
+		}
+		if req.Kind != reqSketch {
+			if enc.Encode(handle(context.Background(), s.node, &req)) != nil {
+				return
+			}
+			continue
+		}
+		if s.failFirst.Load() > 0 {
+			s.failFirst.Add(-1)
+			return // abrupt close mid-exchange
+		}
+		switch s.mode.Load() {
+		case behaveHang:
+			<-done // wedged: never answers, holds the conn open
+			return
+		case behaveGarbage:
+			conn.Write([]byte{0x13, 0x37, 0xde, 0xad, 0xbe, 0xef, 0x00, 0xff})
+			return
+		case behaveCrash:
+			go s.Stop() // the whole process dies, not just this conn
+			return
+		default:
+			if enc.Encode(handle(context.Background(), s.node, &req)) != nil {
+				return
+			}
+		}
+	}
+}
+
+// Stop kills the listener and every live connection. Safe to call twice.
+func (s *chaosServer) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+		s.ln = nil
+	}
+	if s.done != nil {
+		close(s.done)
+		s.done = nil
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+}
+
+// Restart re-listens on the same address, as a rebooted node would.
+func (s *chaosServer) Restart() {
+	s.t.Helper()
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	s.run(ln)
+}
+
+// assertNoGoroutineLeak waits for the goroutine count to settle back to
+// the baseline captured before the test body ran.
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseline {
+		t.Fatalf("goroutine leak: %d running, baseline was %d", n, baseline)
+	}
+}
+
+var testSpec = sensing.GaussianSpec(sensing.Params{M: 8, N: 20, Seed: 3})
+
+func testVector() linalg.Vector {
+	x := make(linalg.Vector, 20)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	return x
+}
+
+func TestSketchDeadlineOnHungNode(t *testing.T) {
+	s := startChaos(t, NewLocalNode("wedged", testVector()))
+	s.mode.Store(behaveHang)
+	rn, err := DialContext(context.Background(), s.addr, DialOptions{
+		RequestTimeout: 150 * time.Millisecond,
+		MaxRetries:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rn.Close()
+
+	start := time.Now()
+	_, err = rn.Sketch(context.Background(), testSpec)
+	if err == nil {
+		t.Fatal("sketch against a hung node succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline did not fire: call took %v", elapsed)
+	}
+	h := rn.Health()
+	if h.Timeouts != 1 || h.Failures != 1 {
+		t.Fatalf("health %+v, want 1 timeout and 1 failure", h)
+	}
+}
+
+func TestCancelUnblocksHungExchange(t *testing.T) {
+	// With per-request deadlines disabled, only the watchdog can unpark a
+	// read that is stuck on a wedged node.
+	s := startChaos(t, NewLocalNode("wedged", testVector()))
+	s.mode.Store(behaveHang)
+	rn, err := DialContext(context.Background(), s.addr, DialOptions{
+		RequestTimeout: -1,
+		MaxRetries:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := rn.Sketch(ctx, testSpec); err == nil {
+		t.Fatal("cancelled sketch succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation did not unblock the read: call took %v", elapsed)
+	}
+}
+
+func TestTransparentRedialAfterMidStreamDisconnect(t *testing.T) {
+	node := NewLocalNode("flaky", testVector())
+	s := startChaos(t, node)
+	s.failFirst.Store(1)
+	rn, err := DialContext(context.Background(), s.addr, DialOptions{BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rn.Close()
+
+	got, err := rn.Sketch(context.Background(), testSpec)
+	if err != nil {
+		t.Fatalf("sketch did not survive a mid-stream disconnect: %v", err)
+	}
+	want, _ := node.Sketch(context.Background(), testSpec)
+	if !got.Equal(want, 0) {
+		t.Fatal("retried sketch differs from direct computation")
+	}
+	h := rn.Health()
+	if h.Retries != 1 || h.Redials != 1 {
+		t.Fatalf("health %+v, want exactly 1 retry and 1 redial", h)
+	}
+}
+
+func TestGarbageResponsePoisonsConnection(t *testing.T) {
+	node := NewLocalNode("byzantine", testVector())
+	s := startChaos(t, node)
+	s.mode.Store(behaveGarbage)
+	rn, err := DialContext(context.Background(), s.addr, DialOptions{
+		MaxRetries:  1,
+		BaseBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rn.Close()
+
+	if _, err := rn.Sketch(context.Background(), testSpec); err == nil {
+		t.Fatal("garbage response accepted as a sketch")
+	}
+	// 3 attempts: the dial handshake plus both poisoned sketch exchanges.
+	h := rn.Health()
+	if h.Attempts != 3 || h.Failures != 1 {
+		t.Fatalf("health %+v, want 3 attempts and 1 failure", h)
+	}
+	// The stream desynced, but the node recovers: once it behaves, the
+	// poisoned connection is replaced and requests succeed again.
+	s.mode.Store(behaveOK)
+	if _, err := rn.Sketch(context.Background(), testSpec); err != nil {
+		t.Fatalf("sketch after garbage recovery: %v", err)
+	}
+}
+
+func TestRedialAfterNodeRestart(t *testing.T) {
+	node := NewLocalNode("rebooted", testVector())
+	s := startChaos(t, node)
+	rn, err := DialContext(context.Background(), s.addr, DialOptions{BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rn.Close()
+	if _, err := rn.Sketch(context.Background(), testSpec); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Stop()
+	s.Restart()
+
+	got, err := rn.Sketch(context.Background(), testSpec)
+	if err != nil {
+		t.Fatalf("sketch did not survive a node restart: %v", err)
+	}
+	want, _ := node.Sketch(context.Background(), testSpec)
+	if !got.Equal(want, 0) {
+		t.Fatal("post-restart sketch differs from direct computation")
+	}
+	if h := rn.Health(); h.Redials < 1 {
+		t.Fatalf("health %+v, want at least 1 redial", h)
+	}
+}
+
+func TestCollectorLeaksNoGoroutines(t *testing.T) {
+	// Regression: the pre-hardening collector leaked one goroutine per
+	// straggler (the abandoned worker blocked forever on node.Sketch).
+	baseline := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	global, _ := workload.MajorityDominated(60, 3, 400, 80, 900, 51)
+	slices := workload.SplitZeroSumNoise(global, 6, 100, 52)
+	nodes := make([]NodeAPI, 6)
+	for i, sl := range slices {
+		if i < 3 {
+			nodes[i] = NewLocalNode("ok"+string(rune('0'+i)), sl)
+		} else {
+			nodes[i] = &slowNode{LocalNode: NewLocalNode("slow"+string(rune('0'+i)), sl), release: release}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	p := sensing.Params{M: 16, N: 60, Seed: 53}
+	res, err := CollectSketchesCtx(ctx, nodes, p, CollectOptions{
+		MinNodes:    3,
+		QuorumGrace: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Included) != 3 {
+		t.Fatalf("included %v", res.Included)
+	}
+	// The stragglers were never released: if their workers survived the
+	// collection, the count below stays elevated.
+	assertNoGoroutineLeak(t, baseline)
+	close(release)
+}
+
+// TestQuorumCollectionWithHungAndCrashedNodes is the acceptance scenario:
+// two healthy TCP nodes, one that hangs mid-collection and one whose
+// process dies mid-collection. The collection must return the quorum
+// aggregate well within the deadline, leak nothing, and account for
+// every retry and timeout per node.
+func TestQuorumCollectionWithHungAndCrashedNodes(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	global, _ := workload.MajorityDominated(60, 3, 900, 100, 2000, 61)
+	slices := workload.SplitZeroSumNoise(global, 4, 150, 62)
+	locals := make([]*LocalNode, 4)
+	servers := make([]*chaosServer, 4)
+	names := []string{"healthy-a", "healthy-b", "hung", "crashed"}
+	for i := range servers {
+		locals[i] = NewLocalNode(names[i], slices[i])
+		servers[i] = startChaos(t, locals[i])
+	}
+	servers[2].mode.Store(behaveHang)
+	servers[3].mode.Store(behaveCrash)
+
+	dialOpts := DialOptions{
+		RequestTimeout: 250 * time.Millisecond,
+		MaxRetries:     -1, // retries belong to the collector in this test
+		BaseBackoff:    time.Millisecond,
+	}
+	var nodes []NodeAPI
+	var remotes []*RemoteNode
+	for _, s := range servers {
+		rn, err := DialContext(context.Background(), s.addr, dialOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, rn)
+		remotes = append(remotes, rn)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	p := sensing.Params{M: 20, N: 60, Seed: 63}
+	start := time.Now()
+	res, err := CollectSketchesCtx(ctx, nodes, p, CollectOptions{
+		MinNodes:     2,
+		MaxAttempts:  2,
+		NodeTimeout:  250 * time.Millisecond,
+		RetryBackoff: 10 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed >= 5*time.Second {
+		t.Fatalf("collection missed the deadline: %v", elapsed)
+	}
+	if len(res.Included) != 2 || res.Included[0] != "healthy-a" || res.Included[1] != "healthy-b" {
+		t.Fatalf("included %v", res.Included)
+	}
+	for _, id := range []string{"hung", "crashed"} {
+		if _, ok := res.Failed[id]; !ok {
+			t.Fatalf("%s not reported failed: %v", id, res.Failed)
+		}
+	}
+
+	// The quorum aggregate is exactly the healthy nodes' sum.
+	want, _ := locals[0].Sketch(context.Background(), sensing.GaussianSpec(p))
+	wb, _ := locals[1].Sketch(context.Background(), sensing.GaussianSpec(p))
+	sensing.AddSketch(want, wb)
+	if !res.Sketch.Equal(want, 1e-12) {
+		t.Fatal("quorum aggregate != healthy-subset sum")
+	}
+
+	// Per-node accounting: the hung node burned both attempts on
+	// deadlines; the crashed node burned both without timing out (EOF,
+	// then connection refused); healthy nodes needed one attempt.
+	hung := res.Nodes["hung"]
+	if hung.Attempts != 2 || hung.Retries != 1 || hung.Timeouts != 2 {
+		t.Fatalf("hung node stats %+v", hung)
+	}
+	crashed := res.Nodes["crashed"]
+	if crashed.Attempts != 2 || crashed.Retries != 1 {
+		t.Fatalf("crashed node stats %+v", crashed)
+	}
+	for _, id := range []string{"healthy-a", "healthy-b"} {
+		if ns := res.Nodes[id]; !ns.OK || ns.Attempts != 1 {
+			t.Fatalf("%s stats %+v", id, ns)
+		}
+	}
+	if res.Stats.Attempts != 6 || res.Stats.Retries != 2 || res.Stats.Timeouts < 2 {
+		t.Fatalf("aggregate stats %+v", res.Stats)
+	}
+
+	// Zero leaked goroutines once the connections are released.
+	for _, rn := range remotes {
+		rn.Close()
+	}
+	for _, s := range servers {
+		s.Stop()
+	}
+	assertNoGoroutineLeak(t, baseline)
+}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -29,7 +30,7 @@ func TestServerSurvivesGarbageConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rn.Close()
-	x, err := rn.FullVector()
+	x, err := rn.FullVector(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRemoteNodeConcurrentCalls(t *testing.T) {
 			for i := 0; i < 5; i++ {
 				switch (w + i) % 3 {
 				case 0:
-					got, err := rn.SampleValues([]int{w})
+					got, err := rn.SampleValues(context.Background(), []int{w})
 					if err != nil {
 						errs <- err
 						return
@@ -71,12 +72,12 @@ func TestRemoteNodeConcurrentCalls(t *testing.T) {
 						return
 					}
 				case 1:
-					if _, err := rn.Sketch(sensing.GaussianSpec(sensing.Params{M: 4, N: 50, Seed: 1})); err != nil {
+					if _, err := rn.Sketch(context.Background(), sensing.GaussianSpec(sensing.Params{M: 4, N: 50, Seed: 1})); err != nil {
 						errs <- err
 						return
 					}
 				default:
-					if _, err := rn.LocalOutliers(0, 2); err != nil {
+					if _, err := rn.LocalOutliers(context.Background(), 0, 2); err != nil {
 						errs <- err
 						return
 					}

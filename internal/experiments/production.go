@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"csoutlier/internal/baseline"
@@ -67,7 +68,7 @@ func fig78(cfg Config, value bool) ([]*Table, error) {
 			budget := int64(frac * float64(allBytes))
 			// --- K+δ at this budget. ---
 			kcfg := baseline.KDeltaForBudget(budget, l, k, n, cfg.Seed+uint64(frac*1000))
-			kres, err := baseline.KDelta(nodes, kcfg)
+			kres, err := baseline.KDelta(context.Background(), nodes, kcfg)
 			if err != nil {
 				return nil, err
 			}

@@ -84,6 +84,12 @@ func decodeSketch(data []byte) (Sketch, error) {
 	seed := binary.LittleEndian.Uint64(data[12:20])
 	ens := Ensemble(data[20])
 	d := int(binary.LittleEndian.Uint32(data[21:25]))
+	// A zero-dimension header can carry a valid checksum (an m=0 payload
+	// is just header+trailer), but would decode into a Sketch that
+	// MarshalBinary refuses to round-trip and Add/Detect cannot use.
+	if m <= 0 || n <= 0 {
+		return Sketch{}, fmt.Errorf("csoutlier: sketch header has non-positive dimensions (m=%d, n=%d)", m, n)
+	}
 	if want := sketchHeaderLen + 8*m + sketchTrailerLen; len(data) != want {
 		return Sketch{}, fmt.Errorf("csoutlier: sketch payload is %d bytes, header says %d", len(data), want)
 	}

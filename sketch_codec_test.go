@@ -1,6 +1,8 @@
 package csoutlier
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"math"
 	"testing"
 	"testing/quick"
@@ -97,6 +99,85 @@ func TestMarshalZeroValueSketchFails(t *testing.T) {
 	var z Sketch
 	if _, err := z.MarshalBinary(); err == nil {
 		t.Fatal("zero-value sketch marshaled")
+	}
+}
+
+// craftSketchBytes builds a wire image with arbitrary header dimensions
+// and a VALID checksum — the adversarial case corruption alone (caught
+// by CRC) cannot reach.
+func craftSketchBytes(m, n uint32, payloadFloats int) []byte {
+	buf := make([]byte, sketchHeaderLen+8*payloadFloats+sketchTrailerLen)
+	copy(buf[0:4], sketchMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], m)
+	binary.LittleEndian.PutUint32(buf[8:12], n)
+	binary.LittleEndian.PutUint64(buf[12:20], 9)
+	sum := crc32.ChecksumIEEE(buf[:len(buf)-sketchTrailerLen])
+	binary.LittleEndian.PutUint32(buf[len(buf)-sketchTrailerLen:], sum)
+	return buf
+}
+
+func TestDecodeSketchRejectsZeroDimensionHeaders(t *testing.T) {
+	// m=0 with a consistent (empty) payload and a valid CRC: the length
+	// and checksum gates both pass, so the dimension gate must fire —
+	// otherwise the decoder mints a Sketch that MarshalBinary refuses to
+	// round-trip.
+	for _, tc := range []struct{ m, n uint32 }{{0, 50}, {3, 0}, {0, 0}} {
+		data := craftSketchBytes(tc.m, tc.n, int(tc.m))
+		if _, err := DecodeSketch(data); err == nil {
+			t.Fatalf("m=%d n=%d header accepted", tc.m, tc.n)
+		}
+	}
+	// Sanity: the same crafting with positive dimensions decodes and
+	// round-trips.
+	data := craftSketchBytes(2, 10, 2)
+	s, err := DecodeSketch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatalf("crafted positive-dimension sketch does not round-trip: %v", err)
+	}
+	if len(out) != len(data) {
+		t.Fatalf("round-trip changed length: %d vs %d", len(out), len(data))
+	}
+}
+
+// Property: every single-byte corruption and every truncation of a valid
+// wire image is rejected, and whatever DOES decode re-encodes to an
+// identical image (decode/encode idempotence over adversarial inputs).
+func TestSketchCodecHeaderCorruptionProperty(t *testing.T) {
+	keys := testKeys(30)
+	sk, _ := NewSketcher(keys, Config{M: 6, Seed: 41})
+	y, _ := sk.SketchPairs(map[string]float64{keys[2]: 7.5, keys[9]: -1})
+	valid, err := y.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations: no prefix of a valid image is a valid image.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeSketch(valid[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	// Single-byte flips, every position (header, payload and trailer):
+	// the CRC must catch all of them.
+	for pos := 0; pos < len(valid); pos++ {
+		for _, mask := range []byte{0x01, 0x80, 0xff} {
+			corrupt := append([]byte(nil), valid...)
+			corrupt[pos] ^= mask
+			s, err := DecodeSketch(corrupt)
+			if err != nil {
+				continue
+			}
+			out, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatalf("flip at %d decoded but does not re-encode: %v", pos, err)
+			}
+			if string(out) != string(corrupt) {
+				t.Fatalf("flip at %d broke decode/encode idempotence", pos)
+			}
+		}
 	}
 }
 
