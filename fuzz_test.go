@@ -2,16 +2,21 @@ package csoutlier
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 
+	"csoutlier/internal/cluster"
 	"csoutlier/internal/keydict"
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/sensing"
 )
 
-// Fuzz targets for the two decoders that consume bytes from the
-// network/disk: the sketch codec and the key-dictionary reader. They
-// run as regression tests over the seed corpus under plain `go test`,
-// and explore further with `go test -fuzz`.
+// Fuzz targets for the decoders that consume bytes from the
+// network/disk: the sketch codec, the key-dictionary reader and the
+// cluster transport's frame loop. They run as regression tests over the
+// seed corpus under plain `go test`, and explore further with
+// `go test -fuzz`.
 
 func FuzzDecodeSketch(f *testing.F) {
 	// Seed with a valid sketch and a few mutations.
@@ -47,6 +52,33 @@ func FuzzDecodeSketch(f *testing.F) {
 		if !bytes.Equal(out, data) {
 			t.Fatalf("decode/encode not idempotent:\n in  %x\n out %x", data, out)
 		}
+	})
+}
+
+func FuzzClusterFrameDecoder(f *testing.F) {
+	// The exact bytes an attacker (or a corrupted peer) can put on a node's
+	// listening socket. Seeds: a well-formed sketch request, the chaos
+	// server's garbage frame (the PR-1 corruption corpus), truncations,
+	// concatenations, and raw noise.
+	spec := sensing.Spec{Params: sensing.Params{M: 4, N: 8, Seed: 9}, Kind: sensing.KindGaussian}
+	valid, err := cluster.SketchRequestFrame(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(append(append([]byte(nil), valid...), valid...)) // two requests back to back
+	f.Add(valid[:len(valid)/2])                            // truncated mid-frame
+	f.Add(append(append([]byte(nil), valid...), cluster.GarbageFrame()...))
+	f.Add(cluster.GarbageFrame())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		node := cluster.NewLocalNode("fuzz", make(linalg.Vector, 8))
+		// ServeStream must consume any byte stream without panicking and
+		// must terminate once the stream is exhausted; hostile frames may
+		// only produce error responses or drop the connection.
+		cluster.ServeStream(bytes.NewReader(data), io.Discard, node, cluster.ServeOptions{})
 	})
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -86,18 +87,53 @@ func ServeWith(ln net.Listener, node NodeAPI, opts ServeOptions) error {
 
 func serveConn(conn net.Conn, node NodeAPI, opts ServeOptions) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	var arm, disarm func()
+	if opts.IdleTimeout > 0 {
+		arm = func() { conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout)) }
+		disarm = func() { conn.SetReadDeadline(time.Time{}) }
+	}
+	serveFrames(conn, conn, node, opts, arm, disarm)
+}
+
+// ServeStream answers request frames decoded from r with response frames
+// encoded to w, until r ends or yields bytes that are not a frame. It is
+// the transport's frame loop detached from TCP: the fuzz target for the
+// frame decoder drives it with arbitrary bytes, and in-process tests can
+// run the exact server path over any io.Reader/io.Writer pair.
+// ServeOptions.IdleTimeout does not apply (there is no connection to arm
+// a deadline on); RequestTimeout is honored.
+func ServeStream(r io.Reader, w io.Writer, node NodeAPI, opts ServeOptions) {
+	serveFrames(r, w, node, opts, nil, nil)
+}
+
+// SketchRequestFrame encodes the wire frame of a sketch request for the
+// given spec — the aggregator's hot message. Exposed so fuzz corpora and
+// protocol tests can construct valid frames without a live connection.
+func SketchRequestFrame(spec sensing.Spec) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&request{Kind: reqSketch, Spec: spec}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// serveFrames is the protocol loop shared by the TCP server and
+// ServeStream: decode one request, handle it under the request timeout,
+// encode one response. arm/disarm, when non-nil, run before and after
+// each frame decode (the TCP path uses them for the idle deadline).
+func serveFrames(r io.Reader, w io.Writer, node NodeAPI, opts ServeOptions, arm, disarm func()) {
+	dec := gob.NewDecoder(r)
+	enc := gob.NewEncoder(w)
 	for {
-		if opts.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(opts.IdleTimeout))
+		if arm != nil {
+			arm()
 		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // client went away (io.EOF), idled out, or sent garbage
 		}
-		if opts.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Time{})
+		if disarm != nil {
+			disarm()
 		}
 		ctx := context.Background()
 		cancel := func() {}
@@ -117,6 +153,10 @@ func handle(ctx context.Context, node NodeAPI, req *request) *response {
 	case reqID:
 		return &response{Name: node.ID()}
 	case reqSketch:
+		// The spec crossed the wire: validate before it sizes allocations.
+		if err := req.Spec.Validate(); err != nil {
+			return &response{Err: err.Error()}
+		}
 		y, err := node.Sketch(ctx, req.Spec)
 		return vecResp(y, err)
 	case reqFull:

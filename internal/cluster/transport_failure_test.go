@@ -2,11 +2,7 @@ package cluster
 
 import (
 	"context"
-	"encoding/gob"
-	"net"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,132 +11,15 @@ import (
 	"csoutlier/internal/workload"
 )
 
-// chaosServer speaks the wire protocol but misbehaves on sketch requests
-// on demand — the wedged, crashed and byzantine data centers the client
-// hardening exists for. ID requests are always answered, so dialing
-// succeeds and the failure surfaces mid-collection, where it is hardest.
-type chaosServer struct {
-	t    *testing.T
-	node NodeAPI
-	addr string
-
-	mode      atomic.Int32 // behave* below
-	failFirst atomic.Int32 // close the conn on this many sketch requests first
-
-	mu    sync.Mutex
-	ln    net.Listener
-	conns map[net.Conn]struct{}
-	done  chan struct{} // closed on Stop; releases hung responses
-}
-
-const (
-	behaveOK int32 = iota
-	behaveHang
-	behaveGarbage
-	behaveCrash
-)
-
-func startChaos(t *testing.T, node NodeAPI) *chaosServer {
+// startChaos wraps StartChaos with test lifecycle management.
+func startChaos(t *testing.T, node NodeAPI) *ChaosServer {
 	t.Helper()
-	s := &chaosServer{t: t, node: node, conns: make(map[net.Conn]struct{})}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	s, err := StartChaos(node)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.addr = ln.Addr().String()
-	s.run(ln)
 	t.Cleanup(s.Stop)
 	return s
-}
-
-func (s *chaosServer) run(ln net.Listener) {
-	s.mu.Lock()
-	s.ln = ln
-	s.done = make(chan struct{})
-	s.mu.Unlock()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			s.mu.Lock()
-			s.conns[conn] = struct{}{}
-			done := s.done
-			s.mu.Unlock()
-			go s.serve(conn, done)
-		}
-	}()
-}
-
-func (s *chaosServer) serve(conn net.Conn, done chan struct{}) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req request
-		if dec.Decode(&req) != nil {
-			return
-		}
-		if req.Kind != reqSketch {
-			if enc.Encode(handle(context.Background(), s.node, &req)) != nil {
-				return
-			}
-			continue
-		}
-		if s.failFirst.Load() > 0 {
-			s.failFirst.Add(-1)
-			return // abrupt close mid-exchange
-		}
-		switch s.mode.Load() {
-		case behaveHang:
-			<-done // wedged: never answers, holds the conn open
-			return
-		case behaveGarbage:
-			conn.Write([]byte{0x13, 0x37, 0xde, 0xad, 0xbe, 0xef, 0x00, 0xff})
-			return
-		case behaveCrash:
-			go s.Stop() // the whole process dies, not just this conn
-			return
-		default:
-			if enc.Encode(handle(context.Background(), s.node, &req)) != nil {
-				return
-			}
-		}
-	}
-}
-
-// Stop kills the listener and every live connection. Safe to call twice.
-func (s *chaosServer) Stop() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ln != nil {
-		s.ln.Close()
-		s.ln = nil
-	}
-	if s.done != nil {
-		close(s.done)
-		s.done = nil
-	}
-	for c := range s.conns {
-		c.Close()
-	}
-	s.conns = make(map[net.Conn]struct{})
-}
-
-// Restart re-listens on the same address, as a rebooted node would.
-func (s *chaosServer) Restart() {
-	s.t.Helper()
-	ln, err := net.Listen("tcp", s.addr)
-	if err != nil {
-		s.t.Fatal(err)
-	}
-	s.run(ln)
 }
 
 // assertNoGoroutineLeak waits for the goroutine count to settle back to
@@ -170,8 +49,8 @@ func testVector() linalg.Vector {
 
 func TestSketchDeadlineOnHungNode(t *testing.T) {
 	s := startChaos(t, NewLocalNode("wedged", testVector()))
-	s.mode.Store(behaveHang)
-	rn, err := DialContext(context.Background(), s.addr, DialOptions{
+	s.SetBehavior(BehaveHang)
+	rn, err := DialContext(context.Background(), s.Addr(), DialOptions{
 		RequestTimeout: 150 * time.Millisecond,
 		MaxRetries:     -1,
 	})
@@ -198,8 +77,8 @@ func TestCancelUnblocksHungExchange(t *testing.T) {
 	// With per-request deadlines disabled, only the watchdog can unpark a
 	// read that is stuck on a wedged node.
 	s := startChaos(t, NewLocalNode("wedged", testVector()))
-	s.mode.Store(behaveHang)
-	rn, err := DialContext(context.Background(), s.addr, DialOptions{
+	s.SetBehavior(BehaveHang)
+	rn, err := DialContext(context.Background(), s.Addr(), DialOptions{
 		RequestTimeout: -1,
 		MaxRetries:     -1,
 	})
@@ -222,8 +101,8 @@ func TestCancelUnblocksHungExchange(t *testing.T) {
 func TestTransparentRedialAfterMidStreamDisconnect(t *testing.T) {
 	node := NewLocalNode("flaky", testVector())
 	s := startChaos(t, node)
-	s.failFirst.Store(1)
-	rn, err := DialContext(context.Background(), s.addr, DialOptions{BaseBackoff: time.Millisecond})
+	s.FailFirst(1)
+	rn, err := DialContext(context.Background(), s.Addr(), DialOptions{BaseBackoff: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,8 +125,8 @@ func TestTransparentRedialAfterMidStreamDisconnect(t *testing.T) {
 func TestGarbageResponsePoisonsConnection(t *testing.T) {
 	node := NewLocalNode("byzantine", testVector())
 	s := startChaos(t, node)
-	s.mode.Store(behaveGarbage)
-	rn, err := DialContext(context.Background(), s.addr, DialOptions{
+	s.SetBehavior(BehaveGarbage)
+	rn, err := DialContext(context.Background(), s.Addr(), DialOptions{
 		MaxRetries:  1,
 		BaseBackoff: time.Millisecond,
 	})
@@ -266,7 +145,7 @@ func TestGarbageResponsePoisonsConnection(t *testing.T) {
 	}
 	// The stream desynced, but the node recovers: once it behaves, the
 	// poisoned connection is replaced and requests succeed again.
-	s.mode.Store(behaveOK)
+	s.SetBehavior(BehaveOK)
 	if _, err := rn.Sketch(context.Background(), testSpec); err != nil {
 		t.Fatalf("sketch after garbage recovery: %v", err)
 	}
@@ -275,7 +154,7 @@ func TestGarbageResponsePoisonsConnection(t *testing.T) {
 func TestRedialAfterNodeRestart(t *testing.T) {
 	node := NewLocalNode("rebooted", testVector())
 	s := startChaos(t, node)
-	rn, err := DialContext(context.Background(), s.addr, DialOptions{BaseBackoff: time.Millisecond})
+	rn, err := DialContext(context.Background(), s.Addr(), DialOptions{BaseBackoff: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +164,9 @@ func TestRedialAfterNodeRestart(t *testing.T) {
 	}
 
 	s.Stop()
-	s.Restart()
+	if err := s.Restart(); err != nil {
+		t.Fatal(err)
+	}
 
 	got, err := rn.Sketch(context.Background(), testSpec)
 	if err != nil {
@@ -346,14 +227,14 @@ func TestQuorumCollectionWithHungAndCrashedNodes(t *testing.T) {
 	global, _ := workload.MajorityDominated(60, 3, 900, 100, 2000, 61)
 	slices := workload.SplitZeroSumNoise(global, 4, 150, 62)
 	locals := make([]*LocalNode, 4)
-	servers := make([]*chaosServer, 4)
+	servers := make([]*ChaosServer, 4)
 	names := []string{"healthy-a", "healthy-b", "hung", "crashed"}
 	for i := range servers {
 		locals[i] = NewLocalNode(names[i], slices[i])
 		servers[i] = startChaos(t, locals[i])
 	}
-	servers[2].mode.Store(behaveHang)
-	servers[3].mode.Store(behaveCrash)
+	servers[2].SetBehavior(BehaveHang)
+	servers[3].SetBehavior(BehaveCrash)
 
 	dialOpts := DialOptions{
 		RequestTimeout: 250 * time.Millisecond,
@@ -363,7 +244,7 @@ func TestQuorumCollectionWithHungAndCrashedNodes(t *testing.T) {
 	var nodes []NodeAPI
 	var remotes []*RemoteNode
 	for _, s := range servers {
-		rn, err := DialContext(context.Background(), s.addr, dialOpts)
+		rn, err := DialContext(context.Background(), s.Addr(), dialOpts)
 		if err != nil {
 			t.Fatal(err)
 		}

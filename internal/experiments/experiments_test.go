@@ -167,6 +167,9 @@ func abs(x float64) float64 {
 }
 
 func TestFig10CSWinsAtSmallM(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock comparison: race instrumentation skews the two sides differently")
+	}
 	tables := run(t, "fig10")
 	if len(tables) != 3 {
 		t.Fatalf("fig10 tables = %d", len(tables))
@@ -203,6 +206,9 @@ func TestFig11Runs(t *testing.T) {
 }
 
 func TestFig12TraditionalDegradesWithN(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock comparison: race instrumentation skews the two sides differently")
+	}
 	tables := run(t, "fig12")
 	if len(tables) != 3 {
 		t.Fatalf("fig12 tables = %d", len(tables))

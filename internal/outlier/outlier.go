@@ -28,7 +28,13 @@ func TopK(x linalg.Vector, mode float64, k int) []KV {
 	if k <= 0 {
 		return nil
 	}
-	out := make([]KV, 0, k+1)
+	// Cap the capacity hint at the data size: k crosses the wire in the
+	// cluster protocol, and an absurd request must not size an allocation.
+	c := k
+	if c > len(x) {
+		c = len(x)
+	}
+	out := make([]KV, 0, c+1)
 	for i, v := range x {
 		if v == mode {
 			continue

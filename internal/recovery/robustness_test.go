@@ -8,6 +8,7 @@ import (
 	"csoutlier/internal/outlier"
 	"csoutlier/internal/workload"
 	"csoutlier/internal/xrand"
+	"csoutlier/internal/xrand/xrandtest"
 )
 
 // The paper's production data is only *near*-sparse: bulk values jitter
@@ -22,8 +23,9 @@ func TestBOMPUnderConcentrationJitter(t *testing.T) {
 		mode    = 1800.0
 		jitter  = 40.0 // ~2% of the mode
 	)
-	x, _ := workload.NearMajorityDominated(n, s, mode, jitter, 1500, 8000, 71)
-	d := dense(t, 200, n, 72)
+	base := xrandtest.Seed(t, 71)
+	x, _ := workload.NearMajorityDominated(n, s, mode, jitter, 1500, 8000, base)
+	d := dense(t, 200, n, base+1)
 	y := d.Measure(x, nil)
 	res, err := BOMP(d, y, Options{MaxIterations: IterationBudget(k)})
 	if err != nil {
@@ -53,9 +55,10 @@ func TestBOMPUnderMeasurementNoise(t *testing.T) {
 		n, s, k = 400, 8, 4
 		mode    = 1000.0
 	)
-	r := xrand.New(73)
-	x, _ := workload.MajorityDominated(n, s, mode, 2000, 9000, 74)
-	d := dense(t, 160, n, 75)
+	base := xrandtest.Seed(t, 73)
+	r := xrand.New(base)
+	x, _ := workload.MajorityDominated(n, s, mode, 2000, 9000, base+1)
+	d := dense(t, 160, n, base+2)
 	y := d.Measure(x, nil)
 	noiseScale := 1e-3 * y.Norm2() / math.Sqrt(float64(len(y)))
 	for i := range y {
@@ -86,9 +89,10 @@ func TestResidualTolStopsAtNoiseFloor(t *testing.T) {
 	// noise floor must be given as ResidualTol, and then the loop stops
 	// as soon as the signal is exhausted, keeping the support clean.
 	const n, s = 300, 5
-	r := xrand.New(76)
-	x, _ := workload.MajorityDominated(n, s, 0, 100, 900, 77)
-	d := dense(t, 120, n, 78)
+	base := xrandtest.Seed(t, 76)
+	r := xrand.New(base)
+	x, _ := workload.MajorityDominated(n, s, 0, 100, 900, base+1)
+	d := dense(t, 120, n, base+2)
 	y := d.Measure(x, nil)
 	var noiseSq float64
 	for i := range y {
@@ -125,7 +129,7 @@ func TestResidualTolStopsAtNoiseFloor(t *testing.T) {
 }
 
 func TestNearMajorityDominatedShape(t *testing.T) {
-	x, support := workload.NearMajorityDominated(200, 10, 500, 5, 100, 400, 79)
+	x, support := workload.NearMajorityDominated(200, 10, 500, 5, 100, 400, xrandtest.Seed(t, 79))
 	if len(support) != 10 {
 		t.Fatalf("support = %d", len(support))
 	}

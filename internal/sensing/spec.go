@@ -58,6 +58,28 @@ type Spec struct {
 // GaussianSpec is the default-family spec for the given parameters.
 func GaussianSpec(p Params) Spec { return Spec{Params: p, Kind: KindGaussian} }
 
+// Validate extends Params.Validate with the spec-level constraints the
+// wire protocol relies on. A Spec arrives from the network in the cluster
+// protocol and its dimensions size allocations, so servers must reject a
+// malformed one before instantiating anything from it: compression
+// requires M ≤ N, the density cannot be negative, and the ensemble must
+// be one this build knows.
+func (s Spec) Validate() error {
+	if err := s.Params.Validate(); err != nil {
+		return err
+	}
+	if s.M > s.N {
+		return fmt.Errorf("sensing: M=%d exceeds N=%d (no compression)", s.M, s.N)
+	}
+	if s.D < 0 {
+		return fmt.Errorf("sensing: negative sparse density D=%d", s.D)
+	}
+	if s.Kind > KindSRHT {
+		return fmt.Errorf("sensing: unknown ensemble kind %d", s.Kind)
+	}
+	return nil
+}
+
 // density resolves the SparseRademacher density default.
 func (s Spec) density() int {
 	if s.D > 0 {

@@ -1,0 +1,208 @@
+package simtest
+
+import (
+	"fmt"
+	"math"
+
+	"csoutlier"
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/workload"
+	"csoutlier/internal/xrand"
+)
+
+// The metamorphic invariants: algebraic identities of the pipeline that
+// must hold for EVERY scenario, independent of whether recovery is exact.
+// Each one transforms the input, reruns the in-process pipeline, and
+// relates the two answers:
+//
+//   1. re-partitioning linearity — splitting the aggregate across a
+//      different number of nodes (with fresh zero-sum noise) must leave
+//      the summed sketch equal coordinate-wise, because Σ Φ·x_l = Φ·Σ x_l
+//      (paper eq. 1);
+//   2. node-order permutation — the aggregate may be summed in any node
+//      order;
+//   3. scale equivariance — measuring c·x recovers c·mode and c·values
+//      on the same support;
+//   4. mode-shift invariance — measuring x + c·1 recovers mode + c and
+//      shifts every value by c, on the same support.
+//
+// Tolerances: sketch-level identities hold to float addition reordering
+// (≈1e-12 relative); recovered answers are compared through the shared
+// matchTol, against the correspondingly transformed oracle.
+
+// linTol bounds the relative coordinate-wise divergence of two sketches
+// that are algebraically equal but summed in different float orders. The
+// split's zero-sum noise can exceed the data by orders of magnitude, so
+// the bound scales with the sketch norm (gonum-free: plain float64
+// addition is all the pipeline uses, so reassociation error stays within
+// a few ulps per term, far below 1e-9 of the norm for ≤ 16 terms).
+const linTol = 1e-9
+
+// CheckInvariants runs all metamorphic checks for the scenario on the
+// in-process pipeline (sketch → aggregate → Detect), reusing the exact
+// data the cluster run collected.
+func CheckInvariants(scn Scenario, data *Data, h Hooks) error {
+	sk, err := scn.Sketcher(data.Keys)
+	if err != nil {
+		return err
+	}
+	ans, err := Oracle(scn, data)
+	if err != nil {
+		return err
+	}
+	rng := xrand.New(scn.Seed ^ 0x1e7a0)
+
+	base, err := sk.SketchVector(data.Global)
+	if err != nil {
+		return err
+	}
+	if err := checkRepartition(scn, data, sk, base, rng); err != nil {
+		return fmt.Errorf("repartition linearity: %w", err)
+	}
+	if err := checkPermutation(scn, data, sk, ans, h, rng); err != nil {
+		return fmt.Errorf("permutation invariance: %w", err)
+	}
+	if err := checkScale(scn, data, sk, ans, h, rng); err != nil {
+		return fmt.Errorf("scale equivariance: %w", err)
+	}
+	if err := checkModeShift(scn, data, sk, ans, h, rng); err != nil {
+		return fmt.Errorf("mode-shift invariance: %w", err)
+	}
+	return nil
+}
+
+// detect runs the aggregator-side recovery with the scenario's hooks.
+func detect(sk *csoutlier.Sketcher, y csoutlier.Sketch, k int, h Hooks) (*csoutlier.Report, error) {
+	rep, err := sk.Detect(y, k)
+	if err != nil {
+		return nil, err
+	}
+	if h.MutateReport != nil {
+		h.MutateReport(rep)
+	}
+	return rep, nil
+}
+
+// checkRepartition re-splits the aggregate into a fresh number of parts
+// with fresh zero-sum noise and checks Σ sketches == sketch of Σ.
+func checkRepartition(scn Scenario, data *Data, sk *csoutlier.Sketcher, base csoutlier.Sketch, rng *xrand.RNG) error {
+	parts := 2 + rng.Intn(5)
+	noise := scn.Noise * (0.5 + rng.Float64())
+	slices := workload.SplitZeroSumNoise(data.Global, parts, noise, rng.Uint64())
+	sum := sk.ZeroSketch()
+	for _, sl := range slices {
+		y, err := sk.SketchVector(sl)
+		if err != nil {
+			return err
+		}
+		if err := sum.Add(y); err != nil {
+			return err
+		}
+	}
+	return sketchesClose(sum, base, sketchScale(base))
+}
+
+// checkPermutation sums the same per-part sketches in a random order and
+// demands the same aggregate.
+func checkPermutation(scn Scenario, data *Data, sk *csoutlier.Sketcher, ans *OracleAnswer, h Hooks, rng *xrand.RNG) error {
+	parts := 2 + rng.Intn(4)
+	slices := workload.SplitZeroSumNoise(data.Global, parts, scn.Noise, rng.Uint64())
+	ys := make([]csoutlier.Sketch, parts)
+	for i, sl := range slices {
+		y, err := sk.SketchVector(sl)
+		if err != nil {
+			return err
+		}
+		ys[i] = y
+	}
+	forward, backward := sk.ZeroSketch(), sk.ZeroSketch()
+	for i := 0; i < parts; i++ {
+		if err := forward.Add(ys[i]); err != nil {
+			return err
+		}
+		if err := backward.Add(ys[parts-1-i]); err != nil {
+			return err
+		}
+	}
+	if err := sketchesClose(forward, backward, sketchScale(forward)); err != nil {
+		return err
+	}
+	// Both orders must yield the oracle's answer end to end.
+	for _, y := range []csoutlier.Sketch{forward, backward} {
+		rep, err := detect(sk, y, scn.K, h)
+		if err != nil {
+			return err
+		}
+		if err := compareReport(rep, ans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkScale measures c·x and expects the oracle's answer scaled by c.
+func checkScale(scn Scenario, data *Data, sk *csoutlier.Sketcher, ans *OracleAnswer, h Hooks, rng *xrand.RNG) error {
+	c := 0.5 + 2.5*rng.Float64()
+	if rng.Float64() < 0.5 {
+		c = -c
+	}
+	scaled := data.Global.Clone().Scale(c)
+	y, err := sk.SketchVector(scaled)
+	if err != nil {
+		return err
+	}
+	rep, err := detect(sk, y, scn.K, h)
+	if err != nil {
+		return err
+	}
+	want := &OracleAnswer{Mode: c * ans.Mode}
+	for _, o := range ans.Outliers {
+		want.Outliers = append(want.Outliers, csoutlier.Outlier{Key: o.Key, Value: c * o.Value})
+	}
+	return compareReport(rep, want)
+}
+
+// checkModeShift measures x + c·1 and expects the same support with the
+// mode and every value shifted by c.
+func checkModeShift(scn Scenario, data *Data, sk *csoutlier.Sketcher, ans *OracleAnswer, h Hooks, rng *xrand.RNG) error {
+	c := (1 + 99*rng.Float64()) * 50
+	if rng.Float64() < 0.5 {
+		c = -c
+	}
+	shifted := data.Global.Clone()
+	for i := range shifted {
+		shifted[i] += c
+	}
+	y, err := sk.SketchVector(shifted)
+	if err != nil {
+		return err
+	}
+	rep, err := detect(sk, y, scn.K, h)
+	if err != nil {
+		return err
+	}
+	want := &OracleAnswer{Mode: ans.Mode + c}
+	for _, o := range ans.Outliers {
+		want.Outliers = append(want.Outliers, csoutlier.Outlier{Key: o.Key, Value: o.Value + c})
+	}
+	return compareReport(rep, want)
+}
+
+// sketchScale is the magnitude the linearity tolerance scales against.
+func sketchScale(s csoutlier.Sketch) float64 {
+	return math.Max(1, linalg.Vector(s.Y).NormInf())
+}
+
+// sketchesClose demands coordinate-wise agreement within linTol·scale.
+func sketchesClose(a, b csoutlier.Sketch, scale float64) error {
+	if len(a.Y) != len(b.Y) {
+		return fmt.Errorf("sketch lengths %d vs %d", len(a.Y), len(b.Y))
+	}
+	for i := range a.Y {
+		if d := math.Abs(a.Y[i] - b.Y[i]); d > linTol*scale {
+			return fmt.Errorf("coordinate %d differs by %g (scale %g): %v vs %v",
+				i, d, scale, a.Y[i], b.Y[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package simtest
+
+import (
+	"fmt"
+	"math"
+
+	"csoutlier"
+	"csoutlier/internal/outlier"
+)
+
+// matchTol is the relative tolerance of the differential comparison.
+// The scenario generator keeps every scenario in the exact-recovery
+// regime (M comfortably above the phase transition), where BOMP's answer
+// matches the centralized computation to solver precision (~1e-9 of the
+// measurement norm); 1e-6 leaves three orders of magnitude of margin
+// while still catching any genuine recovery regression, which moves
+// values by O(magnitude), not O(epsilon).
+const matchTol = 1e-6
+
+// OracleAnswer is the exact centralized result: what an engine holding
+// the uncompressed aggregate over exactly the included nodes computes.
+type OracleAnswer struct {
+	Mode     float64
+	Outliers []csoutlier.Outlier // min(K, S) strongest, furthest-from-mode first
+}
+
+// Oracle answers the scenario's k-outlier query on the uncompressed
+// included aggregate: exact majority mode, exact top-k by divergence —
+// the transmit-ALL ground truth the compressed pipeline must reproduce.
+func Oracle(scn Scenario, data *Data) (*OracleAnswer, error) {
+	mode, ok := outlier.Mode(data.Global)
+	if !ok {
+		return nil, fmt.Errorf("simtest: includable aggregate has no exact majority mode (S=%d, N=%d)", scn.S, scn.N)
+	}
+	ans := &OracleAnswer{Mode: mode}
+	for _, kv := range outlier.TopK(data.Global, mode, scn.K) {
+		ans.Outliers = append(ans.Outliers, csoutlier.Outlier{Key: data.Keys[kv.Index], Value: kv.Value})
+	}
+	return ans, nil
+}
+
+// CompareToOracle differentially checks the distributed pipeline's answer
+// against the exact centralized oracle: the membership of the aggregate
+// must equal the fault schedule's surviving set, and the recovered mode,
+// outlier keys, ranking and values must match the oracle within matchTol.
+func CompareToOracle(scn Scenario, data *Data, rep *csoutlier.ClusterReport) error {
+	// 1. The aggregate must cover exactly the nodes the schedule lets live.
+	var want []string
+	for i, f := range scn.Faults {
+		if f.Included() {
+			want = append(want, NodeID(i))
+		}
+	}
+	if len(rep.Included) != len(want) {
+		return fmt.Errorf("included %v, want %v", rep.Included, want)
+	}
+	for i := range want {
+		if rep.Included[i] != want[i] {
+			return fmt.Errorf("included %v, want %v", rep.Included, want)
+		}
+	}
+
+	ans, err := Oracle(scn, data)
+	if err != nil {
+		return err
+	}
+	return compareReport(&rep.Report, ans)
+}
+
+// compareReport checks a recovered report against an oracle answer.
+func compareReport(rep *csoutlier.Report, ans *OracleAnswer) error {
+	if !closeRel(rep.Mode, ans.Mode) {
+		return fmt.Errorf("mode %v, oracle %v", rep.Mode, ans.Mode)
+	}
+	if len(rep.Outliers) != len(ans.Outliers) {
+		return fmt.Errorf("%d outliers, oracle has %d (got %v, want %v)",
+			len(rep.Outliers), len(ans.Outliers), rep.Outliers, ans.Outliers)
+	}
+	for i, o := range rep.Outliers {
+		w := ans.Outliers[i]
+		if o.Key != w.Key {
+			return fmt.Errorf("outlier %d is %q, oracle says %q (got %v, want %v)",
+				i, o.Key, w.Key, rep.Outliers, ans.Outliers)
+		}
+		if !closeRel(o.Value, w.Value) {
+			return fmt.Errorf("outlier %d (%s) value %v, oracle %v", i, o.Key, o.Value, w.Value)
+		}
+	}
+	return nil
+}
+
+// closeRel reports |a−b| ≤ matchTol·max(1, |b|).
+func closeRel(a, b float64) bool {
+	return math.Abs(a-b) <= matchTol*math.Max(1, math.Abs(b))
+}

@@ -1,0 +1,128 @@
+package simtest
+
+import "csoutlier"
+
+// Shrink greedily minimizes a failing scenario: it tries progressively
+// simpler variants (fewer nodes, no faults, fewer outliers, smaller key
+// space, no noise/bias/tail, plain Gaussian ensemble) and keeps any
+// variant that still fails CheckScenario, until no candidate fails or the
+// re-check budget runs out. Because scenarios are fully deterministic,
+// "still fails" is a pure function of the candidate, so the result is the
+// same on every run — the shrunken line printed in a failure message is
+// the one to debug.
+//
+// The measurement budget M is deliberately never reduced: shrinking M
+// below the phase transition would manufacture a *different* failure
+// (genuine undersampling) and mask the bug being minimized.
+func Shrink(scn Scenario, h Hooks, budget int) Scenario {
+	stillFails := func(c Scenario) bool {
+		if budget <= 0 || c.validate() != nil {
+			return false
+		}
+		budget--
+		return CheckScenario(c, h) != nil
+	}
+
+	cur := scn
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for _, cand := range shrinkCandidates(cur) {
+			if stillFails(cand) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// shrinkCandidates proposes simpler variants of a scenario, most
+// aggressive first. Every candidate keeps Seed and M fixed so it exercises
+// the same measurement matrix regime as the original failure.
+func shrinkCandidates(s Scenario) []Scenario {
+	var out []Scenario
+	add := func(c Scenario) { out = append(out, c) }
+
+	// Collapse the cluster to one healthy node: removes transport, faults
+	// and splitting from the picture in one step.
+	if s.L > 1 {
+		c := s
+		c.L = 1
+		c.Faults = []Fault{FaultNone}
+		add(c)
+	}
+	// Clear the fault schedule but keep the node count.
+	if hasFaults(s) {
+		c := s
+		c.Faults = make([]Fault, s.L)
+		add(c)
+	}
+	// Halve, then decrement, the node count (dropping trailing nodes'
+	// fault entries).
+	for _, l := range []int{s.L / 2, s.L - 1} {
+		if l >= 1 && l < s.L {
+			c := s
+			c.L = l
+			c.Faults = append([]Fault(nil), s.Faults[:l]...)
+			add(c)
+		}
+	}
+	// Fewer planted outliers.
+	for _, sp := range []int{1, s.S / 2, s.S - 1} {
+		if sp >= 1 && sp < s.S {
+			c := s
+			c.S = sp
+			add(c)
+		}
+	}
+	// Smaller key space (floor keeps M ≤ N and S ≤ N/4 valid).
+	floor := s.M
+	if f := 4 * s.S; f > floor {
+		floor = f
+	}
+	for _, n := range []int{floor, s.N / 2} {
+		if n >= 4 && n < s.N {
+			c := s
+			c.N = n
+			add(c)
+		}
+	}
+	// Smaller query.
+	if s.K > 1 {
+		c := s
+		c.K = 1
+		add(c)
+	}
+	// Strip the continuous knobs one at a time.
+	if s.Noise != 0 {
+		c := s
+		c.Noise = 0
+		add(c)
+	}
+	if s.Mode != 0 {
+		c := s
+		c.Mode = 0
+		add(c)
+	}
+	if s.Alpha != 0 {
+		c := s
+		c.Alpha = 0
+		add(c)
+	}
+	if s.Ens != csoutlier.Gaussian {
+		c := s
+		c.Ens = csoutlier.Gaussian
+		add(c)
+	}
+	return out
+}
+
+func hasFaults(s Scenario) bool {
+	for _, f := range s.Faults {
+		if f != FaultNone {
+			return true
+		}
+	}
+	return false
+}

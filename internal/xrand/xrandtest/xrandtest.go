@@ -1,0 +1,51 @@
+// Package xrandtest plumbs reproducible seeds through randomized tests.
+//
+// Every test that draws randomness from internal/xrand should obtain its
+// base seed via Seed (or its generator via New). That buys two things the
+// raw literals scattered through older tests did not provide:
+//
+//   - a failing randomized run always prints the seed that produced it,
+//     so the exact run is reproducible from the test output alone;
+//   - `go test -seed=N` re-runs every participating test under seed N
+//     without editing source, which is how a logged failure is replayed.
+//
+// The package registers the -seed flag at init time, so it must only be
+// imported from _test.go files — a production binary importing it would
+// grow a stray flag.
+package xrandtest
+
+import (
+	"flag"
+	"testing"
+
+	"csoutlier/internal/xrand"
+)
+
+var flagSeed = flag.Uint64("seed", 0,
+	"override the base seed of randomized tests (0 = each test's default); failing tests log the seed to rerun with")
+
+// Seed resolves the seed a randomized test should use: def unless the
+// -seed flag overrides it. If the test fails, the resolved seed is logged
+// with the exact flag to replay the run.
+func Seed(t testing.TB, def uint64) uint64 {
+	s := def
+	if *flagSeed != 0 {
+		s = *flagSeed
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("randomized test failed under seed %d; replay with -seed=%d", s, s)
+		}
+	})
+	return s
+}
+
+// New returns a deterministic generator over the resolved seed (see Seed).
+func New(t testing.TB, def uint64) *xrand.RNG {
+	return xrand.New(Seed(t, def))
+}
+
+// Overridden reports whether -seed was set on the command line — tests
+// whose assertions are tuned to a specific default seed can loosen or
+// skip them under an explicit override.
+func Overridden() bool { return *flagSeed != 0 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Repo verification: everything CI runs, in one command.
+#
+#   scripts/verify.sh          # tier-1 + race + simulation smoke
+#   scripts/verify.sh -quick   # tier-1 only
+#
+# Tier-1 (build, vet, full test suite) is the floor every change must
+# clear; the race pass covers the concurrency-heavy transport/collector;
+# the simulation smoke runs randomized end-to-end scenarios against the
+# exact oracle (see internal/simtest). Raise -sim.count for soak runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + vet + test =="
+go build ./...
+go vet ./...
+go test ./...
+
+[ "${1:-}" = "-quick" ] && exit 0
+
+echo "== race: full suite =="
+go test -race ./...
+
+echo "== simulation smoke: randomized end-to-end scenarios =="
+go test ./internal/simtest -run 'TestSim$' -sim.count=50
+
+echo "verify: OK"
