@@ -26,18 +26,22 @@ func (s *Sketcher) Aggregate(global Sketch, maxIters int) (*AggregateReport, err
 	if err := global.compatible(s.emptySketch()); err != nil {
 		return nil, err
 	}
-	res, err := recovery.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: maxIters})
+	ws := s.workspace()
+	res, err := ws.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: maxIters})
 	if err != nil {
 		return nil, err
 	}
+	// res aliases ws's buffers and the report outlives this call: copy
+	// the support and values out before returning ws to the pool.
 	rec := &queries.Recovered{
 		N:       s.params.N,
 		Mode:    res.Mode,
-		Support: res.Support,
+		Support: append([]int(nil), res.Support...),
 	}
 	for _, j := range res.Support {
 		rec.Values = append(rec.Values, res.X[j])
 	}
+	s.ws.Put(ws)
 	if err := rec.Validate(); err != nil {
 		return nil, fmt.Errorf("csoutlier: internal recovery inconsistency: %w", err)
 	}

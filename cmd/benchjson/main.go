@@ -1,0 +1,243 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH.json format and compares two such files.
+//
+// Usage:
+//
+//	go test -run - -bench X -benchmem ./... | benchjson parse [-label L] > out.json
+//	benchjson compare old.json new.json
+//	benchjson merge baseline.json current.json > BENCH.json
+//
+// parse reads benchmark lines from stdin and emits a JSON object mapping
+// benchmark name → {ns_per_op, b_per_op, allocs_per_op, runs}, averaged
+// over repeated -count runs, plus a meta block (go version, GOMAXPROCS).
+// compare prints per-benchmark deltas between two parse outputs — the
+// perf-trajectory check future PRs run against the committed BENCH.json.
+// merge embeds one parse output as "baseline" inside another, producing
+// the before/after record scripts/bench.sh commits.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's averaged result.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Runs        int     `json:"runs"`
+}
+
+// File is the on-disk BENCH.json shape. Baseline is present only in
+// merged (committed) files; bench.sh runs emit Benchmarks alone.
+type File struct {
+	Meta       map[string]any      `json:"meta"`
+	Baseline   map[string]*Metrics `json:"baseline,omitempty"`
+	Benchmarks map[string]*Metrics `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		label := ""
+		if len(os.Args) >= 4 && os.Args[2] == "-label" {
+			label = os.Args[3]
+		}
+		if err := parse(label); err != nil {
+			fatal(err)
+		}
+	case "compare":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		if err := compare(os.Args[2], os.Args[3]); err != nil {
+			fatal(err)
+		}
+	case "merge":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		if err := merge(os.Args[2], os.Args[3]); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchjson parse [-label L] < bench-output\n       benchjson compare old.json new.json\n       benchjson merge baseline.json current.json")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` lines like
+//
+//	BenchmarkFoo-8   123  456789 ns/op  1024 B/op  3 allocs/op
+//
+// averaging repeated lines for the same benchmark (-count > 1).
+func parse(label string) error {
+	type acc struct {
+		ns, b, allocs float64
+		runs          int
+	}
+	sums := map[string]*acc{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix so runs on different boxes compare.
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		a := sums[name]
+		if a == nil {
+			a = &acc{}
+			sums[name] = a
+		}
+		found := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+				found = true
+			case "B/op":
+				a.b += v
+			case "allocs/op":
+				a.allocs += v
+			}
+		}
+		if found {
+			a.runs++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	out := File{
+		Meta: map[string]any{
+			"go":         runtime.Version(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+		},
+		Benchmarks: map[string]*Metrics{},
+	}
+	if label != "" {
+		out.Meta["label"] = label
+	}
+	for name, a := range sums {
+		if a.runs == 0 {
+			continue
+		}
+		n := float64(a.runs)
+		out.Benchmarks[name] = &Metrics{
+			NsPerOp:     a.ns / n,
+			BPerOp:      a.b / n,
+			AllocsPerOp: a.allocs / n,
+			Runs:        a.runs,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Benchmarks == nil {
+		return nil, fmt.Errorf("%s: no benchmarks block", path)
+	}
+	return &f, nil
+}
+
+// compare prints per-benchmark old→new deltas, flagging regressions.
+func compare(oldPath, newPath string) error {
+	oldF, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(newF.Benchmarks))
+	for name := range newF.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-52s %14s %14s %9s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	for _, name := range names {
+		nw := newF.Benchmarks[name]
+		old, ok := oldF.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-52s %14s %14.0f %9s %16s\n", name, "—", nw.NsPerOp, "new", fmt.Sprintf("—→%.0f", nw.AllocsPerOp))
+			continue
+		}
+		delta := "0.0%"
+		if old.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nw.NsPerOp-old.NsPerOp)/old.NsPerOp)
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %9s %16s\n",
+			name, old.NsPerOp, nw.NsPerOp, delta,
+			fmt.Sprintf("%.0f→%.0f", old.AllocsPerOp, nw.AllocsPerOp))
+	}
+	for name := range oldF.Benchmarks {
+		if _, ok := newF.Benchmarks[name]; !ok {
+			fmt.Printf("%-52s (dropped)\n", name)
+		}
+	}
+	return nil
+}
+
+// merge embeds baseline.json's benchmarks as the "baseline" block of
+// current.json and writes the combined file to stdout.
+func merge(basePath, curPath string) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	cur.Baseline = base.Benchmarks
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cur)
+}

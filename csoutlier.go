@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"csoutlier/internal/keydict"
 	"csoutlier/internal/outlier"
@@ -159,6 +160,12 @@ type Sketcher struct {
 	dict   *keydict.Dictionary
 	params sensing.Params
 	matrix sensing.Matrix // dense when affordable, seeded otherwise
+
+	// ws recycles recovery workspaces across Detect/Recover calls, so a
+	// standing query replaying BOMP on each refreshed sketch reuses all
+	// recovery scratch (QR factorization, correlation and residual
+	// buffers) instead of reallocating it per query.
+	ws sync.Pool
 }
 
 // denseLimit caps M·N for materializing the measurement matrix.
@@ -279,6 +286,14 @@ func (s *Sketcher) FromPayload(y []float64) (Sketch, error) {
 	return out, nil
 }
 
+// workspace checks a recovery workspace out of the pool.
+func (s *Sketcher) workspace() *recovery.Workspace {
+	if ws, ok := s.ws.Get().(*recovery.Workspace); ok {
+		return ws
+	}
+	return recovery.NewWorkspace()
+}
+
 // Detect recovers the k-outliers and the mode from an aggregated global
 // sketch (the aggregator-side operation, CS-Reducer: BOMP recovery).
 func (s *Sketcher) Detect(global Sketch, k int) (*Report, error) {
@@ -292,10 +307,13 @@ func (s *Sketcher) Detect(global Sketch, k int) (*Report, error) {
 	if iters == 0 {
 		iters = recovery.IterationBudget(k)
 	}
-	res, err := recovery.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: iters})
+	ws := s.workspace()
+	res, err := ws.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: iters})
 	if err != nil {
 		return nil, err
 	}
+	// res aliases ws's buffers: copy everything the Report needs before
+	// returning the workspace to the pool.
 	cands := make([]outlier.KV, len(res.Support))
 	for i, j := range res.Support {
 		cands[i] = outlier.KV{Index: j, Value: res.X[j]}
@@ -305,6 +323,7 @@ func (s *Sketcher) Detect(global Sketch, k int) (*Report, error) {
 	for _, kv := range top {
 		rep.Outliers = append(rep.Outliers, Outlier{Key: s.dict.Key(kv.Index), Value: kv.Value})
 	}
+	s.ws.Put(ws)
 	return rep, nil
 }
 
@@ -315,7 +334,8 @@ func (s *Sketcher) Recover(global Sketch, maxIters int) (map[string]float64, flo
 	if err := global.compatible(s.emptySketch()); err != nil {
 		return nil, 0, err
 	}
-	res, err := recovery.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: maxIters})
+	ws := s.workspace()
+	res, err := ws.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: maxIters})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -323,7 +343,9 @@ func (s *Sketcher) Recover(global Sketch, maxIters int) (map[string]float64, flo
 	for _, j := range res.Support {
 		out[s.dict.Key(j)] = res.X[j]
 	}
-	return out, res.Mode, nil
+	mode := res.Mode
+	s.ws.Put(ws)
+	return out, mode, nil
 }
 
 // ExactOutliers answers the k-outlier query on uncompressed data — the

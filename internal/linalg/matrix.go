@@ -51,6 +51,12 @@ func (m *Matrix) Clone() *Matrix {
 
 // MulVec computes dst = m·x. It panics on dimension mismatch.
 // dst is allocated when nil; it must not alias x.
+//
+// Each row product runs through the 4-accumulator unrolled Dot kernel;
+// like all the unrolled kernels here, the sum is reassociated relative
+// to a naive left-fold, so results agree with it only to ~1 ulp per
+// term (and exactly between repeated calls — the kernel itself is
+// deterministic).
 func (m *Matrix) MulVec(x, dst Vector) Vector {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec dims %dx%d with vector %d", m.Rows, m.Cols, len(x)))
@@ -60,12 +66,7 @@ func (m *Matrix) MulVec(x, dst Vector) Vector {
 	}
 	dst = dst[:m.Rows]
 	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		s := 0.0
-		for j, v := range row {
-			s += v * x[j]
-		}
-		dst[i] = s
+		dst[i] = Vector(m.Data[i*m.Cols : (i+1)*m.Cols]).Dot(x)
 	}
 	return dst
 }
@@ -80,20 +81,48 @@ func (m *Matrix) MulVecT(x, dst Vector) Vector {
 		dst = make(Vector, m.Cols)
 	}
 	dst = dst[:m.Cols]
-	for j := range dst {
-		dst[j] = 0
+	m.mulVecTRange(x, dst, 0, m.Cols)
+	return dst
+}
+
+// mulVecTRange computes dst[0:hi-lo] = (mᵀ·x)[lo:hi] — the shared
+// column-range kernel behind MulVecT and ParallelMulVecT. Rows are
+// blocked four at a time so each output element accumulates four
+// products per pass (ILP across the FP add chain); the remainder rows
+// run unblocked. Because the parallel path partitions columns and every
+// column sees the identical row order and blocking, parallel and serial
+// results are bit-identical.
+func (m *Matrix) mulVecTRange(x Vector, dst Vector, lo, hi int) {
+	dst = dst[:hi-lo]
+	clear(dst)
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		if x0 == 0 && x1 == 0 && x2 == 0 && x3 == 0 {
+			continue
+		}
+		r0 := m.Data[i*m.Cols+lo : i*m.Cols+hi]
+		r1 := m.Data[(i+1)*m.Cols+lo : (i+1)*m.Cols+hi]
+		r2 := m.Data[(i+2)*m.Cols+lo : (i+2)*m.Cols+hi]
+		r3 := m.Data[(i+3)*m.Cols+lo : (i+3)*m.Cols+hi]
+		r1 = r1[:len(r0)]
+		r2 = r2[:len(r0)]
+		r3 = r3[:len(r0)]
+		out := dst[:len(r0)]
+		for j := range r0 {
+			out[j] += (x0*r0[j] + x1*r1[j]) + (x2*r2[j] + x3*r3[j])
+		}
 	}
-	for i := 0; i < m.Rows; i++ {
+	for ; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		row := m.Data[i*m.Cols+lo : i*m.Cols+hi]
 		for j, v := range row {
 			dst[j] += v * xi
 		}
 	}
-	return dst
 }
 
 // ParallelMulVecT is MulVecT with the column range fanned out over
@@ -109,6 +138,14 @@ func (m *Matrix) ParallelMulVecT(x, dst Vector) Vector {
 	if workers < 2 || m.Cols < 4*workers || m.Rows*m.Cols < 1<<16 {
 		return m.MulVecT(x, dst)
 	}
+	// The fan-out lives in its own method: the goroutine closures there
+	// make every captured variable escape, and keeping them out of this
+	// function keeps the serial fast path (and its callers' steady
+	// state) allocation-free.
+	return m.parallelMulVecTSlow(x, dst, workers)
+}
+
+func (m *Matrix) parallelMulVecTSlow(x, dst Vector, workers int) Vector {
 	if cap(dst) < m.Cols {
 		dst = make(Vector, m.Cols)
 	}
@@ -127,24 +164,11 @@ func (m *Matrix) ParallelMulVecT(x, dst Vector) Vector {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			// Each worker owns dst[lo:hi]; traverse rows on the outside
-			// so every inner loop reads a contiguous row segment of the
-			// row-major storage (a column-outer loop would stride by
-			// Cols and thrash the cache).
-			out := dst[lo:hi]
-			for j := range out {
-				out[j] = 0
-			}
-			for i := 0; i < m.Rows; i++ {
-				xi := x[i]
-				if xi == 0 {
-					continue
-				}
-				row := m.Data[i*m.Cols+lo : i*m.Cols+hi]
-				for j, v := range row {
-					out[j] += v * xi
-				}
-			}
+			// Each worker owns dst[lo:hi]; the shared kernel traverses
+			// rows on the outside so every inner loop reads a contiguous
+			// row segment of the row-major storage (a column-outer loop
+			// would stride by Cols and thrash the cache).
+			m.mulVecTRange(x, dst[lo:hi], lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -16,25 +16,55 @@ import (
 // pass ("twice is enough", Giraud et al.), which keeps ‖QᵀQ−I‖ at the
 // round-off level even after many hundreds of appended columns — the
 // floating-point drift the paper calls out in §5 as a practical obstacle.
+//
+// The factorization is reusable: Reset rewinds it to zero columns while
+// keeping all backing storage, so a recovery Workspace that replays
+// queries of similar size performs no allocations after warm-up.
 type IncrementalQR struct {
-	m    int      // row count
-	q    []Vector // orthonormal columns, each of length m
-	r    []Vector // r[j] holds column j of R: entries 0..j
-	qty  Vector   // Qᵀy cache for the current target, see SetTarget
-	y    Vector   // current target
-	work Vector
+	m int // row count
+	k int // active column count; q[:k], r[:k] are live
+	// q and r retain capacity beyond k across Reset: slot i is reused by
+	// the (i+1)-th Append of the next run when its buffer is big enough.
+	q   []Vector // orthonormal columns, each of length m
+	r   []Vector // r[j] holds column j of R: entries 0..j
+	qty Vector   // Qᵀy cache for the current target, see SetTarget
+	y   Vector   // current target
 }
 
 // NewIncrementalQR returns an empty factorization for m-row columns.
 func NewIncrementalQR(m int) *IncrementalQR {
-	return &IncrementalQR{m: m, work: make(Vector, m)}
+	return &IncrementalQR{m: m}
+}
+
+// Reset rewinds the factorization to zero columns for m-row columns,
+// retaining all previously allocated storage for reuse.
+func (f *IncrementalQR) Reset(m int) {
+	f.m = m
+	f.k = 0
+	f.y = nil
+	f.qty = f.qty[:0]
 }
 
 // K returns the number of columns appended so far.
-func (f *IncrementalQR) K() int { return len(f.q) }
+func (f *IncrementalQR) K() int { return f.k }
 
 // M returns the row dimension.
 func (f *IncrementalQR) M() int { return f.m }
+
+// slot returns the k-th column buffer resized to n, reusing retained
+// storage when possible. vecs is f.q or f.r; k ≤ len(vecs).
+func slot(vecs []Vector, k, n int) ([]Vector, Vector) {
+	if k < len(vecs) && cap(vecs[k]) >= n {
+		return vecs, vecs[k][:n]
+	}
+	v := make(Vector, n)
+	if k < len(vecs) {
+		vecs[k] = v
+	} else {
+		vecs = append(vecs, v)
+	}
+	return vecs, v
+}
 
 // Append orthogonalizes column a against the current basis and appends
 // it. It returns the norm of the orthogonal remainder (the new diagonal
@@ -45,9 +75,13 @@ func (f *IncrementalQR) Append(a Vector) (float64, error) {
 	if len(a) != f.m {
 		return 0, fmt.Errorf("linalg: Append column length %d, want %d", len(a), f.m)
 	}
-	k := len(f.q)
-	v := a.Clone()
-	rcol := make(Vector, k+1)
+	k := f.k
+	var v Vector
+	f.q, v = slot(f.q, k, f.m)
+	copy(v, a)
+	var rcol Vector
+	f.r, rcol = slot(f.r, k, k+1)
+	clear(rcol)
 	origNorm := v.Norm2()
 
 	// Modified Gram–Schmidt, then one re-orthogonalization sweep to
@@ -65,8 +99,9 @@ func (f *IncrementalQR) Append(a Vector) (float64, error) {
 		return norm, ErrRankDeficient
 	}
 	v.Scale(1 / norm)
-	f.q = append(f.q, v)
-	f.r = append(f.r, rcol)
+	f.q[k] = v
+	f.r[k] = rcol
+	f.k = k + 1
 	if f.y != nil {
 		f.qty = append(f.qty, v.Dot(f.y))
 	}
@@ -86,7 +121,7 @@ func (f *IncrementalQR) SetTarget(y Vector) {
 	}
 	f.y = y
 	f.qty = f.qty[:0]
-	for _, q := range f.q {
+	for _, q := range f.q[:f.k] {
 		f.qty = append(f.qty, q.Dot(y))
 	}
 }
@@ -103,7 +138,7 @@ func (f *IncrementalQR) Residual(dst Vector) Vector {
 	}
 	dst = dst[:f.m]
 	copy(dst, f.y)
-	for j, q := range f.q {
+	for j, q := range f.q[:f.k] {
 		dst.AddScaled(-f.qty[j], q)
 	}
 	return dst
@@ -130,12 +165,19 @@ func (f *IncrementalQR) ResidualNorm() float64 {
 
 // Solve returns the least-squares coefficients z minimizing ‖A·z − y‖₂
 // over the appended columns, by back-substituting R·z = Qᵀy.
-func (f *IncrementalQR) Solve() (Vector, error) {
+func (f *IncrementalQR) Solve() (Vector, error) { return f.SolveInto(nil) }
+
+// SolveInto is Solve writing into dst (allocated when nil or too small),
+// for callers that reuse the coefficient buffer across queries.
+func (f *IncrementalQR) SolveInto(dst Vector) (Vector, error) {
 	if f.y == nil {
 		return nil, fmt.Errorf("linalg: Solve before SetTarget")
 	}
-	k := len(f.q)
-	z := make(Vector, k)
+	k := f.k
+	if cap(dst) < k {
+		dst = make(Vector, k)
+	}
+	z := dst[:k]
 	copy(z, f.qty)
 	// R is stored by columns: f.r[j][i] = R[i][j] for i <= j.
 	for i := k - 1; i >= 0; i-- {
@@ -160,8 +202,8 @@ func (f *IncrementalQR) Q(j int) Vector { return f.q[j] }
 // ablation benches.
 func (f *IncrementalQR) OrthogonalityError() float64 {
 	worst := 0.0
-	for i := range f.q {
-		for j := i; j < len(f.q); j++ {
+	for i := 0; i < f.k; i++ {
+		for j := i; j < f.k; j++ {
 			d := f.q[i].Dot(f.q[j])
 			if i == j {
 				d -= 1

@@ -1,0 +1,91 @@
+package recovery
+
+// End-to-end recovery benchmarks for the perf trajectory (BENCH.json,
+// via scripts/bench.sh). The Seeded instance is the one that matters
+// for scaling: real mappers agree on Φ₀ by consensus seed and the
+// aggregator regenerates columns during recovery, so its correlate
+// kernel dominates the standing-query cost.
+
+import (
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/workload"
+)
+
+func benchInstance(b *testing.B, mk func(sensing.Params) (sensing.Matrix, error), m, n, s int) (sensing.Matrix, linalg.Vector, int) {
+	b.Helper()
+	mat, err := mk(sensing.Params{M: m, N: n, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _ := workload.MajorityDominated(n, s, 1800, 300, 3000, 10)
+	return mat, mat.Measure(x, nil), s
+}
+
+func BenchmarkRecoveryBOMPDense(b *testing.B) {
+	mat, y, s := benchInstance(b, func(p sensing.Params) (sensing.Matrix, error) {
+		return sensing.NewDense(p)
+	}, 256, 2000, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BOMP(mat, y, Options{MaxIterations: 3*s + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryBOMPSeeded(b *testing.B) {
+	mat, y, s := benchInstance(b, func(p sensing.Params) (sensing.Matrix, error) {
+		return sensing.NewSeeded(p)
+	}, 128, 1000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BOMP(mat, y, Options{MaxIterations: 3*s + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryKnownModeOMPSeeded(b *testing.B) {
+	mat, y, s := benchInstance(b, func(p sensing.Params) (sensing.Matrix, error) {
+		return sensing.NewSeeded(p)
+	}, 128, 1000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KnownModeOMP(mat, y, 1800, Options{MaxIterations: 3 * s}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryBOMPDenseWorkspace is BOMPDense through a reused
+// Workspace — the standing-query steady state (0 allocs/op).
+func BenchmarkRecoveryBOMPDenseWorkspace(b *testing.B) {
+	mat, y, s := benchInstance(b, func(p sensing.Params) (sensing.Matrix, error) {
+		return sensing.NewDense(p)
+	}, 256, 2000, 20)
+	ws := NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.BOMP(mat, y, Options{MaxIterations: 3*s + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryBOMPSeededWorkspace is BOMPSeeded through a reused
+// Workspace.
+func BenchmarkRecoveryBOMPSeededWorkspace(b *testing.B) {
+	mat, y, s := benchInstance(b, func(p sensing.Params) (sensing.Matrix, error) {
+		return sensing.NewSeeded(p)
+	}, 128, 1000, 10)
+	ws := NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.BOMP(mat, y, Options{MaxIterations: 3*s + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package recovery
+
+const raceEnabled = false

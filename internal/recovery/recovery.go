@@ -12,11 +12,15 @@
 // §5 production fix — "terminate the recovery process once the residual
 // stops decreasing" — which guards against Gram–Schmidt floating-point
 // drift at high iteration counts.
+//
+// The engine runs inside a Workspace (see workspace.go) that owns all
+// scratch: the package-level BOMP/OMP/KnownModeOMP entry points build a
+// throwaway workspace per call, while hot paths (the standing-query
+// Sketcher) hold one and replay queries allocation-free.
 package recovery
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
 	"csoutlier/internal/linalg"
@@ -76,6 +80,10 @@ func (o Options) stallRelTol() float64 {
 }
 
 // Result is the output of a recovery run.
+//
+// When produced by a Workspace method, the Result and all slices in it
+// alias workspace storage and are overwritten by that workspace's next
+// call. Results from the package-level functions are independent.
 type Result struct {
 	// X is the recovered N-length data vector: the mode everywhere except
 	// on the recovered support.
@@ -110,60 +118,13 @@ var ErrDimension = errors.New("recovery: measurement length does not match matri
 // sparse coefficient, runs OMP on the extended problem, and maps the
 // solution back: b = z₀/√N, x = z + b.
 func BOMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Result, error) {
-	p := m.Params()
-	if len(y) != p.M {
-		return nil, fmt.Errorf("%w: len(y)=%d, M=%d", ErrDimension, len(y), p.M)
-	}
-	d := &biasedDict{m: m, phi0: m.ExtensionColumn(nil)}
-	sel, coef, diag, err := greedy(d, y, p.M, opt, func(z linalg.Vector, idx []int) float64 {
-		return modeFromExtended(z, idx, p.N)
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	res := &Result{
-		Iterations:    len(sel),
-		StoppedEarly:  diag.stalled,
-		ModeTrace:     diag.modeTrace,
-		ResidualTrace: diag.residualTrace,
-	}
-	// Split the bias coefficient from the outlier coefficients.
-	b := 0.0
-	for i, j := range sel {
-		if j == 0 {
-			b = coef[i] / math.Sqrt(float64(p.N))
-		} else {
-			res.Support = append(res.Support, j-1)
-			res.Coef = append(res.Coef, coef[i])
-		}
-	}
-	res.Mode = b
-	res.X = assemble(p.N, b, res.Support, res.Coef)
-	return res, nil
+	return NewWorkspace().BOMP(m, y, opt)
 }
 
 // OMP recovers a vector that is sparse at zero (paper §2.2) from
 // y = Φ₀·x. Mode is reported as 0.
 func OMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Result, error) {
-	p := m.Params()
-	if len(y) != p.M {
-		return nil, fmt.Errorf("%w: len(y)=%d, M=%d", ErrDimension, len(y), p.M)
-	}
-	d := &plainDict{m: m}
-	sel, coef, diag, err := greedy(d, y, p.M, opt, nil)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Support:       sel,
-		Coef:          coef,
-		Iterations:    len(sel),
-		StoppedEarly:  diag.stalled,
-		ResidualTrace: diag.residualTrace,
-	}
-	res.X = assemble(p.N, 0, sel, coef)
-	return res, nil
+	return NewWorkspace().OMP(m, y, opt)
 }
 
 // KnownModeOMP recovers a vector known to concentrate around the given
@@ -173,35 +134,13 @@ func OMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Result, error) {
 // Figure 4(a); the paper notes that learning b externally costs an extra
 // 2s+1 values of communication, which BOMP avoids.
 func KnownModeOMP(m sensing.Matrix, y linalg.Vector, mode float64, opt Options) (*Result, error) {
-	p := m.Params()
-	if len(y) != p.M {
-		return nil, fmt.Errorf("%w: len(y)=%d, M=%d", ErrDimension, len(y), p.M)
-	}
-	shifted := y.Clone()
-	phi0 := m.ExtensionColumn(nil)
-	shifted.AddScaled(-mode*math.Sqrt(float64(p.N)), phi0)
-	res, err := OMP(m, shifted, opt)
-	if err != nil {
-		return nil, err
-	}
-	res.Mode = mode
-	for i := range res.X {
-		res.X[i] += mode
-	}
-	return res, nil
+	return NewWorkspace().KnownModeOMP(m, y, mode, opt)
 }
 
-// assemble builds the full recovered vector from the mode and the
-// (support, deviation) pairs.
+// assemble builds a fresh full recovered vector from the mode and the
+// (support, deviation) pairs. Hot paths use assembleInto instead.
 func assemble(n int, mode float64, support []int, coef []float64) linalg.Vector {
-	x := make(linalg.Vector, n)
-	if mode != 0 {
-		x.Fill(mode)
-	}
-	for i, j := range support {
-		x[j] = mode + coef[i]
-	}
-	return x
+	return assembleInto(nil, n, mode, support, coef)
 }
 
 // modeFromExtended extracts the running mode estimate b = z₀/√N from the
@@ -270,98 +209,6 @@ type diagnostics struct {
 	stalled       bool
 	modeTrace     []float64
 	residualTrace []float64
-}
-
-// greedy is the shared OMP column-selection loop (paper Algorithm 2).
-// It returns the selected column indices (in selection order) and their
-// least-squares coefficients. modeFn, when non-nil and opt.TraceMode is
-// set, converts the running coefficients into a mode estimate per
-// iteration.
-func greedy(d dictionary, y linalg.Vector, m int, opt Options,
-	modeFn func(z linalg.Vector, idx []int) float64) ([]int, []float64, diagnostics, error) {
-
-	var diag diagnostics
-	maxIter := opt.MaxIterations
-	if maxIter <= 0 || maxIter > m {
-		maxIter = m
-	}
-	if maxIter > d.size() {
-		maxIter = d.size()
-	}
-
-	qr := linalg.NewIncrementalQR(m)
-	qr.SetTarget(y)
-	yNorm := y.Norm2()
-	if yNorm == 0 {
-		return nil, nil, diag, nil // zero measurement: zero vector
-	}
-	tol := opt.residualTol() * yNorm
-
-	var (
-		selected []int
-		inBasis  = make(map[int]bool, maxIter)
-		excluded = make(map[int]bool)
-		residual = y.Clone()
-		corr     linalg.Vector
-		colBuf   linalg.Vector
-		prevNorm = yNorm
-	)
-	for len(selected) < maxIter {
-		corr = d.correlate(residual, corr)
-		// Mask out columns already in (or rejected from) the basis.
-		for j := range inBasis {
-			corr[j] = 0
-		}
-		for j := range excluded {
-			corr[j] = 0
-		}
-		best, bestAbs := corr.ArgMaxAbs()
-		if best < 0 || bestAbs <= 1e-14*yNorm {
-			break // nothing correlates: residual is (numerically) zero
-		}
-		colBuf = d.col(best, colBuf)
-		if _, err := qr.Append(colBuf); err != nil {
-			if errors.Is(err, linalg.ErrRankDeficient) {
-				// Column numerically inside current span; never pick it again.
-				excluded[best] = true
-				continue
-			}
-			return nil, nil, diag, err
-		}
-		selected = append(selected, best)
-		inBasis[best] = true
-
-		residual = qr.Residual(residual)
-		norm := qr.ResidualNorm()
-		if opt.TraceResidual {
-			diag.residualTrace = append(diag.residualTrace, norm)
-		}
-		if opt.TraceMode && modeFn != nil {
-			z, err := qr.Solve()
-			if err != nil {
-				return nil, nil, diag, err
-			}
-			diag.modeTrace = append(diag.modeTrace, modeFn(z, selected))
-		}
-		if norm <= tol {
-			break
-		}
-		// §5: floating-point drift makes the residual stop decreasing long
-		// before the iteration budget on real data; cut the run there.
-		if !opt.DisableEarlyStop && norm >= prevNorm*(1-opt.stallRelTol()) {
-			diag.stalled = true
-			break
-		}
-		prevNorm = norm
-	}
-	if len(selected) == 0 {
-		return nil, nil, diag, nil
-	}
-	z, err := qr.Solve()
-	if err != nil {
-		return nil, nil, diag, err
-	}
-	return selected, z, diag, nil
 }
 
 // IterationBudget returns the paper's recommended iteration count

@@ -1,0 +1,198 @@
+package sensing
+
+// Kernel benchmarks: one per hot sensing kernel, sized near the paper's
+// production query shape (N ≈ 10K keys, M ≈ a few hundred measurements).
+// scripts/bench.sh runs the BenchmarkKernel* set with fixed -benchtime
+// and -count and records the results in BENCH.json — the repo's perf
+// trajectory; compare runs with `scripts/bench.sh -compare`.
+
+import (
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+const (
+	benchM = 256
+	benchN = 8192
+)
+
+func benchResidual(m int) linalg.Vector {
+	r := xrand.New(99)
+	v := make(linalg.Vector, m)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+func benchSparseInput(n, nnz int) ([]int, []float64) {
+	r := xrand.New(77)
+	idx := make([]int, nnz)
+	vals := make([]float64, nnz)
+	for i := range idx {
+		idx[i] = r.Intn(n)
+		vals[i] = r.NormFloat64()
+	}
+	return idx, vals
+}
+
+func BenchmarkKernelDenseCorrelate(b *testing.B) {
+	d, err := NewDense(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchResidual(benchM)
+	dst := make(linalg.Vector, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Correlate(r, dst)
+	}
+}
+
+func BenchmarkKernelDenseCorrelateSerial(b *testing.B) {
+	d, err := NewDense(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchResidual(benchM)
+	dst := make(linalg.Vector, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.CorrelateSerial(r, dst)
+	}
+}
+
+func BenchmarkKernelDenseMeasure(b *testing.B) {
+	d, err := NewDense(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make(linalg.Vector, benchN)
+	rng := xrand.New(5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make(linalg.Vector, benchM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Measure(x, dst)
+	}
+}
+
+func BenchmarkKernelDenseMeasureSparse(b *testing.B) {
+	d, err := NewDense(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, vals := benchSparseInput(benchN, benchN/8) // dense-ish: scatter path
+	dst := make(linalg.Vector, benchM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.MeasureSparse(idx, vals, dst)
+	}
+}
+
+func BenchmarkKernelSeededCorrelate(b *testing.B) {
+	s, err := NewSeeded(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchResidual(benchM)
+	dst := make(linalg.Vector, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Correlate(r, dst)
+	}
+}
+
+func BenchmarkKernelSeededMeasureSparse(b *testing.B) {
+	s, err := NewSeeded(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, vals := benchSparseInput(benchN, 1024)
+	dst := make(linalg.Vector, benchM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MeasureSparse(idx, vals, dst)
+	}
+}
+
+func BenchmarkKernelSeededExtensionColumn(b *testing.B) {
+	s, err := NewSeeded(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make(linalg.Vector, benchM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ExtensionColumn(dst)
+	}
+}
+
+func BenchmarkKernelSRHTCorrelate(b *testing.B) {
+	s, err := NewSRHT(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchResidual(benchM)
+	dst := make(linalg.Vector, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Correlate(r, dst)
+	}
+}
+
+func BenchmarkKernelSparseRademacherCorrelate(b *testing.B) {
+	s, err := NewSparseRademacher(Params{M: benchM, N: benchN, Seed: 3}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchResidual(benchM)
+	dst := make(linalg.Vector, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Correlate(r, dst)
+	}
+}
+
+func BenchmarkKernelSeededCorrelateSerial(b *testing.B) {
+	s, err := NewSeeded(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchResidual(benchM)
+	dst := make(linalg.Vector, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CorrelateSerial(r, dst)
+	}
+}
+
+func BenchmarkKernelSRHTCorrelateSerial(b *testing.B) {
+	s, err := NewSRHT(Params{M: benchM, N: benchN, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchResidual(benchM)
+	dst := make(linalg.Vector, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CorrelateSerial(r, dst)
+	}
+}
+
+func BenchmarkKernelSparseRademacherCorrelateSerial(b *testing.B) {
+	s, err := NewSparseRademacher(Params{M: benchM, N: benchN, Seed: 3}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchResidual(benchM)
+	dst := make(linalg.Vector, benchN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CorrelateSerial(r, dst)
+	}
+}

@@ -1,0 +1,149 @@
+package sensing
+
+// Column-parallel kernel plumbing shared by the regenerating ensembles.
+//
+// Every ensemble here derives column j from its own PRNG sub-stream
+// (Split(j+1) of the consensus seed), so per-column work is independent
+// and can fan out over GOMAXPROCS workers with NO change in the bits
+// produced: a column's value never depends on which goroutine computed
+// it. Reductions that fold many columns into one vector (Measure,
+// MeasureSparse, ExtensionColumn) go through orderedFold, which
+// generates column blocks in parallel but folds them on the calling
+// goroutine in strictly increasing column order — the same
+// left-to-right association the serial loop uses — so those results are
+// bit-identical to serial too, independent of GOMAXPROCS. Protocol
+// consensus depends on this: nodes with different core counts must
+// produce identical sketches.
+
+import (
+	"runtime"
+	"sync"
+
+	"csoutlier/internal/linalg"
+)
+
+// kernelWorkers returns the fan-out width for column-parallel kernels.
+func kernelWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parallelRanges splits [0,n) into contiguous chunks of at least
+// minChunk and runs fn(lo, hi) over them concurrently, blocking until
+// all complete. fn must only write state owned by its own range. When
+// parallelism is unavailable or unprofitable it degenerates to a single
+// fn(0, n) call on the caller's goroutine.
+func parallelRanges(n, minChunk int, fn func(lo, hi int)) {
+	w := kernelWorkers()
+	if w < 2 || n < 2*minChunk {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// vecPool recycles scratch vectors (stored as pointers so Get/Put do
+// not allocate). Each matrix owns its pools, so buffer sizes match.
+type vecPool struct{ p sync.Pool }
+
+func (vp *vecPool) get(n int) *linalg.Vector {
+	if v, ok := vp.p.Get().(*linalg.Vector); ok && cap(*v) >= n {
+		*v = (*v)[:n]
+		return v
+	}
+	v := make(linalg.Vector, n)
+	return &v
+}
+
+func (vp *vecPool) put(v *linalg.Vector) { vp.p.Put(v) }
+
+// foldBlock is the number of columns a worker generates per block in
+// orderedFold. Big enough to amortize goroutine dispatch (a block is
+// foldBlock·M Gaussian draws for the Seeded ensemble), small enough to
+// keep workers busy on modest inputs.
+const foldBlock = 32
+
+// orderedFold computes a sequential fold over `count` generated
+// M-length columns with the generation fanned out over workers:
+//
+//	for k = 0..count-1: fold(k, gen(k))   — in exactly this order.
+//
+// gen(k, dst) fills dst with item k's column and must be safe to call
+// concurrently for distinct k (true for all sub-stream ensembles).
+// fold(k, col) always runs on the calling goroutine in ascending k, so
+// the result is bit-identical to the serial loop regardless of worker
+// count. Blocks are pipelined: at most a few blocks are in flight, so
+// memory stays O(workers·foldBlock·m) even for millions of columns.
+func orderedFold(count, m int, pool *vecPool, gen func(k int, dst linalg.Vector), fold func(k int, col linalg.Vector)) {
+	w := kernelWorkers()
+	if w < 2 || count < 2*foldBlock {
+		buf := pool.get(m)
+		for k := 0; k < count; k++ {
+			gen(k, *buf)
+			fold(k, *buf)
+		}
+		pool.put(buf)
+		return
+	}
+	nblk := (count + foldBlock - 1) / foldBlock
+	// Bounded pipeline: the dispatcher blocks once w+1 block futures are
+	// outstanding, the consumer drains them in block order.
+	futs := make(chan chan *linalg.Vector, w+1)
+	free := make(chan *linalg.Vector, w+2)
+	go func() {
+		for b := 0; b < nblk; b++ {
+			fut := make(chan *linalg.Vector, 1)
+			futs <- fut
+			go func(b int) {
+				var buf *linalg.Vector
+				select {
+				case buf = <-free:
+					*buf = (*buf)[:cap(*buf)]
+				default:
+					v := make(linalg.Vector, foldBlock*m)
+					buf = &v
+				}
+				lo := b * foldBlock
+				hi := lo + foldBlock
+				if hi > count {
+					hi = count
+				}
+				for k := lo; k < hi; k++ {
+					gen(k, (*buf)[(k-lo)*m:(k-lo)*m+m])
+				}
+				fut <- buf
+			}(b)
+		}
+		close(futs)
+	}()
+	b := 0
+	for fut := range futs {
+		buf := <-fut
+		lo := b * foldBlock
+		hi := lo + foldBlock
+		if hi > count {
+			hi = count
+		}
+		for k := lo; k < hi; k++ {
+			fold(k, (*buf)[(k-lo)*m:(k-lo)*m+m])
+		}
+		select {
+		case free <- buf:
+		default:
+		}
+		b++
+	}
+}

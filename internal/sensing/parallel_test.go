@@ -1,0 +1,265 @@
+package sensing
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+// withWorkers runs body with GOMAXPROCS forced to w, restoring it after.
+// On a single-CPU host this still exercises the parallel code paths
+// (goroutines interleave), which is what the bit-identity tests need.
+func withWorkers(t *testing.T, w int, body func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(w)
+	defer runtime.GOMAXPROCS(old)
+	body()
+}
+
+// bitsEqual fails unless got and want are bit-for-bit identical.
+func bitsEqual(t *testing.T, name string, got, want linalg.Vector) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: entry %d = %x, want %x (values %v vs %v)",
+				name, i, math.Float64bits(got[i]), math.Float64bits(want[i]), got[i], want[i])
+		}
+	}
+}
+
+// randVec returns a deterministic pseudo-random vector of length n.
+func randVec(seed uint64, n int) linalg.Vector {
+	rng := xrand.New(seed)
+	v := make(linalg.Vector, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// oddShapes covers the degenerate and remainder-heavy geometries the
+// chunked kernels must not mishandle: single-row, single-column, fewer
+// columns than workers, and column counts not divisible by any chunk.
+var oddShapes = []Params{
+	{M: 1, N: 1, Seed: 7},
+	{M: 1, N: 257, Seed: 7},
+	{M: 5, N: 1, Seed: 7},
+	{M: 3, N: 2, Seed: 7},      // N < workers
+	{M: 8, N: 33, Seed: 7},     // just above the seeded chunk floor
+	{M: 16, N: 1000, Seed: 7},  // not divisible by foldBlock or chunks
+	{M: 32, N: 4096, Seed: 11}, // even split
+	{M: 7, N: 4099, Seed: 11},  // prime-ish remainder everywhere
+}
+
+// TestSeededParallelBitIdentical pins the protocol-critical property:
+// the parallel Seeded kernels produce the exact bits of their serial
+// counterparts for every worker count and shape. Nodes with different
+// core counts must agree on sketches exactly.
+func TestSeededParallelBitIdentical(t *testing.T) {
+	for _, p := range oddShapes {
+		s, err := NewSeeded(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := NewSeeded(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := randVec(1+p.Seed, p.M)
+		x := randVec(2+p.Seed, p.N)
+		// A sparse slice with repeats, zeros and out-of-order indices.
+		idx := []int{p.N - 1, 0, p.N / 2, 0}
+		vals := []float64{1.5, -2.25, 0, 3.5}
+
+		wantCorr := serial.CorrelateSerial(r, nil)
+		wantMeas := serial.MeasureSerial(x, nil)
+		wantSparse := serial.MeasureSparseSerial(idx, vals, nil)
+		wantExt := serial.ExtensionColumn(nil)
+
+		for _, w := range []int{1, 2, 3, 8} {
+			withWorkers(t, w, func() {
+				par, err := NewSeeded(p) // fresh matrix: cold φ₀ cache per worker count
+				if err != nil {
+					t.Fatal(err)
+				}
+				bitsEqual(t, "Correlate", s.Correlate(r, nil), wantCorr)
+				bitsEqual(t, "Measure", s.Measure(x, nil), wantMeas)
+				bitsEqual(t, "MeasureSparse", s.MeasureSparse(idx, vals, nil), wantSparse)
+				bitsEqual(t, "ExtensionColumn", par.ExtensionColumn(nil), wantExt)
+			})
+		}
+	}
+}
+
+// TestSRHTParallelBitIdentical pins Correlate (the parallel FWHT path)
+// against CorrelateSerial bit-for-bit across worker counts.
+func TestSRHTParallelBitIdentical(t *testing.T) {
+	for _, p := range oddShapes {
+		s, err := NewSRHT(p)
+		if err != nil {
+			continue // SRHT requires M ≤ pad; skip the degenerate shapes
+		}
+		r := randVec(3+p.Seed, p.M)
+		want := s.CorrelateSerial(r, nil)
+		for _, w := range []int{1, 2, 3, 8} {
+			withWorkers(t, w, func() {
+				bitsEqual(t, "SRHT.Correlate", s.Correlate(r, nil), want)
+			})
+		}
+	}
+	// Force the parallel FWHT proper (pad ≥ fwhtParallelMin).
+	p := Params{M: 64, N: 10000, Seed: 13}
+	s, err := NewSRHT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randVec(17, p.M)
+	want := s.CorrelateSerial(r, nil)
+	for _, w := range []int{2, 3, 5, 16} {
+		withWorkers(t, w, func() {
+			bitsEqual(t, "SRHT.Correlate/large", s.Correlate(r, nil), want)
+		})
+	}
+}
+
+// TestFWHTParallelBitIdentical checks the split-stage transform against
+// the serial one directly, at sizes around the segmenting thresholds.
+func TestFWHTParallelBitIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 1 << 10, 1 << 13, 1 << 14, 1 << 16} {
+		want := randVec(uint64(n), n)
+		fwht(want)
+		for _, w := range []int{1, 2, 3, 7, 16} {
+			withWorkers(t, w, func() {
+				got := randVec(uint64(n), n)
+				fwhtParallel(got)
+				bitsEqual(t, "fwht", got, want)
+			})
+		}
+	}
+}
+
+// TestSparseRademacherParallelBitIdentical pins the sparse ensemble's
+// parallel correlation against the serial one.
+func TestSparseRademacherParallelBitIdentical(t *testing.T) {
+	for _, p := range oddShapes {
+		s, err := NewSparseRademacher(p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := randVec(5+p.Seed, p.M)
+		want := s.CorrelateSerial(r, nil)
+		for _, w := range []int{1, 2, 3, 8} {
+			withWorkers(t, w, func() {
+				bitsEqual(t, "SparseRademacher.Correlate", s.Correlate(r, nil), want)
+			})
+		}
+	}
+}
+
+// TestDenseParallelBitIdentical pins Dense.Correlate (ParallelMulVecT)
+// against the serial MulVecT: the two share the same range kernel, so
+// even the reassociated row-blocked sums must agree exactly.
+func TestDenseParallelBitIdentical(t *testing.T) {
+	p := Params{M: 64, N: 2048, Seed: 19} // M·N ≥ 1<<16: parallel path engages
+	d, err := NewDense(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := randVec(23, p.M)
+	want := d.CorrelateSerial(r, nil)
+	for _, w := range []int{1, 2, 3, 8} {
+		withWorkers(t, w, func() {
+			bitsEqual(t, "Dense.Correlate", d.Correlate(r, nil), want)
+		})
+	}
+}
+
+// TestExtensionColumnCached checks, for all four ensembles, that the
+// cached φ₀ (a) is stable across repeated calls, (b) matches a freshly
+// built matrix's φ₀ bit-for-bit, and (c) equals (1/√N)·Σⱼφⱼ computed
+// column-by-column (up to accumulation tolerance).
+func TestExtensionColumnCached(t *testing.T) {
+	p := Params{M: 24, N: 300, Seed: 29}
+	build := map[string]func() (Matrix, error){
+		"Dense":  func() (Matrix, error) { return NewDense(p) },
+		"Seeded": func() (Matrix, error) { return NewSeeded(p) },
+		"SRHT":   func() (Matrix, error) { return NewSRHT(p) },
+		"SparseRademacher": func() (Matrix, error) {
+			return NewSparseRademacher(p, 4)
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			m, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := m.ExtensionColumn(nil)
+			again := m.ExtensionColumn(nil)
+			bitsEqual(t, "repeat call", again, first)
+			// Writing into a caller buffer must not expose the cache.
+			buf := make(linalg.Vector, p.M)
+			m.ExtensionColumn(buf)
+			buf.Fill(123)
+			bitsEqual(t, "cache isolation", m.ExtensionColumn(nil), first)
+
+			fresh, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitsEqual(t, "fresh matrix", fresh.ExtensionColumn(nil), first)
+
+			// Ground truth from the Col accessor.
+			want := make(linalg.Vector, p.M)
+			col := make(linalg.Vector, p.M)
+			for j := 0; j < p.N; j++ {
+				want.Add(m.Col(j, col))
+			}
+			want.Scale(1 / math.Sqrt(float64(p.N)))
+			if !first.Equal(want, 1e-10) {
+				t.Fatalf("cached φ₀ deviates from column sum: %v vs %v", first[:3], want[:3])
+			}
+		})
+	}
+}
+
+// TestDenseMeasureSparseScatterPath checks the dense-scatter fast path
+// (many indices) against the column-walk path and against Measure.
+func TestDenseMeasureSparseScatterPath(t *testing.T) {
+	p := Params{M: 16, N: 200, Seed: 31}
+	d, err := NewDense(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense enough to trip the scatter path: > 64 and > N/16 indices.
+	idx := make([]int, 100)
+	vals := make([]float64, 100)
+	x := make(linalg.Vector, p.N)
+	rng := xrand.New(37)
+	for k := range idx {
+		idx[k] = rng.Intn(p.N)
+		vals[k] = rng.NormFloat64()
+		x[idx[k]] += vals[k]
+	}
+	got := d.MeasureSparse(idx, vals, nil)
+	want := d.Measure(x, nil)
+	if !got.Equal(want, 1e-9) {
+		t.Fatalf("scatter MeasureSparse deviates from Measure: %v vs %v", got[:3], want[:3])
+	}
+	// And the sparse path (few indices) agrees too.
+	got2 := d.MeasureSparse(idx[:8], vals[:8], nil)
+	x2 := make(linalg.Vector, p.N)
+	for k := 0; k < 8; k++ {
+		x2[idx[k]] += vals[k]
+	}
+	want2 := d.Measure(x2, nil)
+	if !got2.Equal(want2, 1e-9) {
+		t.Fatalf("column-walk MeasureSparse deviates from Measure")
+	}
+}

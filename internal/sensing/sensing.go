@@ -20,12 +20,18 @@
 //
 // Both derive column j from the same per-column PRNG sub-stream, so they
 // produce bit-identical matrices for equal parameters — tested, because
-// the protocol's correctness depends on it.
+// the protocol's correctness depends on it. The per-column sub-streams
+// also make every whole-matrix kernel embarrassingly parallel: Correlate,
+// Measure, MeasureSparse and ExtensionColumn fan columns out over
+// GOMAXPROCS workers (see parallel.go) while staying bit-identical to
+// their serial counterparts — the software stand-in for the GPU
+// acceleration the paper leaves as future work (§5).
 package sensing
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"csoutlier/internal/linalg"
 	"csoutlier/internal/xrand"
@@ -66,24 +72,37 @@ type Matrix interface {
 	// r, the dominant cost of each OMP iteration.
 	Correlate(r linalg.Vector, dst linalg.Vector) linalg.Vector
 	// ExtensionColumn returns φ₀ = (1/√N)·Σφᵢ, the extra column BOMP
-	// prepends to represent the unknown bias (paper eq. 3).
+	// prepends to represent the unknown bias (paper eq. 3). All
+	// implementations cache φ₀ per matrix, so repeated calls cost O(M).
 	ExtensionColumn(dst linalg.Vector) linalg.Vector
 }
 
 // fillColumn writes the canonical column j for params p into dst, which
-// must have length p.M. Entries are N(0, 1/M).
+// must have length p.M. Entries are N(0, 1/M). The generator lives on
+// the stack (value constructors), so regenerating a column performs no
+// heap allocation.
 func fillColumn(p Params, j int, dst linalg.Vector) {
-	rng := xrand.New(p.Seed).Split(uint64(j) + 1)
+	root := xrand.NewValue(p.Seed)
+	rng := root.SplitValue(uint64(j) + 1)
 	inv := 1 / math.Sqrt(float64(p.M))
 	for i := range dst {
 		dst[i] = rng.NormFloat64() * inv
 	}
 }
 
+// copyCached writes the cached φ₀ into dst (allocating when needed).
+func copyCached(phi0 linalg.Vector, dst linalg.Vector) linalg.Vector {
+	dst = ensureExact(dst, len(phi0))
+	copy(dst, phi0)
+	return dst
+}
+
 // Dense is a fully materialized measurement matrix.
 type Dense struct {
-	p   Params
-	mat *linalg.Matrix // M×N row-major
+	p       Params
+	mat     *linalg.Matrix // M×N row-major
+	phi0    linalg.Vector  // cached extension column, computed at NewDense
+	scatter vecPool        // pooled N-length scatter buffers for MeasureSparse
 }
 
 // NewDense builds and stores the full matrix. Memory: M·N·8 bytes.
@@ -99,7 +118,20 @@ func NewDense(p Params) (*Dense, error) {
 			mat.Set(i, j, col[i])
 		}
 	}
-	return &Dense{p: p, mat: mat}, nil
+	d := &Dense{p: p, mat: mat}
+	// φ₀ = (1/√N)·Σφᵢ, via row sums over the materialized storage; the
+	// standing-query path re-reads it on every BOMP call, so pay the
+	// O(M·N) exactly once here.
+	d.phi0 = make(linalg.Vector, p.M)
+	for i := 0; i < p.M; i++ {
+		s := 0.0
+		for _, v := range mat.Row(i) {
+			s += v
+		}
+		d.phi0[i] = s
+	}
+	d.phi0.Scale(1 / math.Sqrt(float64(p.N)))
+	return d, nil
 }
 
 // Params implements Matrix.
@@ -119,29 +151,39 @@ func (d *Dense) Measure(x, dst linalg.Vector) linalg.Vector {
 // MeasureSparse implements Matrix. For inputs that are not genuinely
 // sparse relative to N, the column-at-a-time walk over the row-major
 // storage is cache-hostile (stride N per element); scattering into a
-// dense vector and running the row-major MulVec is the same flop count
-// with sequential access, so it wins beyond a small density threshold.
+// pooled dense vector and running the row-major MulVec is the same flop
+// count with sequential access, so it wins beyond a small density
+// threshold.
 func (d *Dense) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
-	dst = ensure(dst, d.p.M)
-	if len(idx) > 64 && len(idx) > d.p.N/16 {
-		x := make(linalg.Vector, d.p.N)
+	n, m := d.p.N, d.p.M
+	dst = ensure(dst, m)
+	if len(idx) > 64 && len(idx) > n/16 {
+		xp := d.scatter.get(n)
+		x := *xp
+		clear(x)
 		for k, j := range idx {
+			if j < 0 || j >= n {
+				panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, n))
+			}
 			x[j] += vals[k]
 		}
-		return d.mat.MulVec(x, dst)
+		d.mat.MulVec(x, dst)
+		d.scatter.put(xp)
+		return dst
 	}
+	data := d.mat.Data
 	for k, j := range idx {
 		v := vals[k]
 		if v == 0 {
 			continue
 		}
-		if j < 0 || j >= d.p.N {
+		if j < 0 || j >= n {
 			// Explicit check: row-major indexing would otherwise alias a
 			// neighbouring row's entry instead of failing fast.
-			panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, d.p.N))
+			panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, n))
 		}
-		for i := 0; i < d.p.M; i++ {
-			dst[i] += v * d.mat.At(i, j)
+		for i, e := 0, j; i < m; i, e = i+1, e+n {
+			dst[i] += v * data[e]
 		}
 	}
 	return dst
@@ -153,30 +195,26 @@ func (d *Dense) Correlate(r, dst linalg.Vector) linalg.Vector {
 }
 
 // CorrelateSerial is the single-threaded correlation, kept for the
-// parallel-correlation ablation bench.
+// parallel-correlation ablation bench and the equivalence tests.
 func (d *Dense) CorrelateSerial(r, dst linalg.Vector) linalg.Vector {
 	return d.mat.MulVecT(r, dst)
 }
 
-// ExtensionColumn implements Matrix.
+// ExtensionColumn implements Matrix from the per-matrix cache.
 func (d *Dense) ExtensionColumn(dst linalg.Vector) linalg.Vector {
-	dst = ensure(dst, d.p.M)
-	for i := 0; i < d.p.M; i++ {
-		s := 0.0
-		row := d.mat.Row(i)
-		for _, v := range row {
-			s += v
-		}
-		dst[i] = s
-	}
-	return dst.Scale(1 / math.Sqrt(float64(d.p.N)))
+	return copyCached(d.phi0, dst)
 }
 
 // Seeded is a measurement matrix that regenerates columns on demand.
 // Memory: O(M) scratch. Every operation touching all N columns costs the
-// PRNG regeneration of M·N Gaussians; use Dense when the matrix fits.
+// PRNG regeneration of M·N Gaussians; those regenerations fan out over
+// GOMAXPROCS workers (bit-identically — each column has its own
+// sub-stream). Use Dense when the matrix fits.
 type Seeded struct {
-	p Params
+	p        Params
+	cols     vecPool // pooled M-length column scratch
+	phi0Once sync.Once
+	phi0     linalg.Vector
 }
 
 // NewSeeded returns a column-regenerating matrix.
@@ -200,27 +238,72 @@ func (s *Seeded) Col(j int, dst linalg.Vector) linalg.Vector {
 	return dst
 }
 
-// Measure implements Matrix.
+// Measure implements Matrix. Column regeneration runs in parallel; the
+// accumulation folds columns in ascending j on the calling goroutine,
+// so the result is bit-identical to MeasureSerial for any GOMAXPROCS.
 func (s *Seeded) Measure(x, dst linalg.Vector) linalg.Vector {
 	if len(x) != s.p.N {
 		panic(fmt.Sprintf("sensing: Measure vector length %d, want N=%d", len(x), s.p.N))
 	}
 	dst = ensure(dst, s.p.M)
-	col := make(linalg.Vector, s.p.M)
+	// Only non-zero entries regenerate a column; collect them so the
+	// parallel fold skips the zeros exactly like the serial loop.
+	nz := make([]int, 0, len(x))
+	for j, v := range x {
+		if v != 0 {
+			nz = append(nz, j)
+		}
+	}
+	orderedFold(len(nz), s.p.M, &s.cols,
+		func(k int, colDst linalg.Vector) { fillColumn(s.p, nz[k], colDst) },
+		func(k int, col linalg.Vector) { dst.AddScaled(x[nz[k]], col) })
+	return dst
+}
+
+// MeasureSerial is the single-threaded Measure, kept for the
+// equivalence tests and benches.
+func (s *Seeded) MeasureSerial(x, dst linalg.Vector) linalg.Vector {
+	if len(x) != s.p.N {
+		panic(fmt.Sprintf("sensing: Measure vector length %d, want N=%d", len(x), s.p.N))
+	}
+	dst = ensure(dst, s.p.M)
+	col := s.cols.get(s.p.M)
 	for j, v := range x {
 		if v == 0 {
 			continue
 		}
-		fillColumn(s.p, j, col)
-		dst.AddScaled(v, col)
+		fillColumn(s.p, j, *col)
+		dst.AddScaled(v, *col)
 	}
+	s.cols.put(col)
 	return dst
 }
 
-// MeasureSparse implements Matrix.
+// MeasureSparse implements Matrix. Parallel like Measure, with the same
+// ascending-k fold order as the serial loop (bit-identical).
 func (s *Seeded) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
 	dst = ensure(dst, s.p.M)
-	col := make(linalg.Vector, s.p.M)
+	n := s.p.N
+	nz := make([]int, 0, len(idx))
+	for k, j := range idx {
+		if j < 0 || j >= n {
+			panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, n))
+		}
+		if vals[k] != 0 {
+			nz = append(nz, k)
+		}
+	}
+	orderedFold(len(nz), s.p.M, &s.cols,
+		func(k int, colDst linalg.Vector) { fillColumn(s.p, idx[nz[k]], colDst) },
+		func(k int, col linalg.Vector) { dst.AddScaled(vals[nz[k]], col) })
+	return dst
+}
+
+// MeasureSparseSerial is the single-threaded MeasureSparse, kept for
+// the equivalence tests and benches.
+func (s *Seeded) MeasureSparseSerial(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
+	dst = ensure(dst, s.p.M)
+	col := s.cols.get(s.p.M)
 	for k, j := range idx {
 		if vals[k] == 0 {
 			continue
@@ -228,35 +311,69 @@ func (s *Seeded) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) lin
 		if j < 0 || j >= s.p.N {
 			panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, s.p.N))
 		}
-		fillColumn(s.p, j, col)
-		dst.AddScaled(vals[k], col)
+		fillColumn(s.p, j, *col)
+		dst.AddScaled(vals[k], *col)
 	}
+	s.cols.put(col)
 	return dst
 }
 
-// Correlate implements Matrix by regenerating every column.
+// seededCorrChunk is the minimum columns per worker for the parallel
+// correlation: one column costs M Gaussian draws, so even small chunks
+// amortize dispatch, but single-digit ranges aren't worth a goroutine.
+const seededCorrChunk = 16
+
+// Correlate implements Matrix by regenerating every column, fanned over
+// GOMAXPROCS workers. dst[j] depends only on column j's sub-stream and
+// r, so the result is bit-identical to CorrelateSerial.
 func (s *Seeded) Correlate(r, dst linalg.Vector) linalg.Vector {
 	if len(r) != s.p.M {
 		panic(fmt.Sprintf("sensing: Correlate vector length %d, want M=%d", len(r), s.p.M))
 	}
-	dst = ensure(dst, s.p.N)
-	col := make(linalg.Vector, s.p.M)
-	for j := 0; j < s.p.N; j++ {
-		fillColumn(s.p, j, col)
-		dst[j] = col.Dot(r)
+	dst = ensureExact(dst, s.p.N)
+	if kernelWorkers() < 2 || s.p.N < 2*seededCorrChunk {
+		s.correlateRange(r, dst, 0, s.p.N)
+		return dst
 	}
+	parallelRanges(s.p.N, seededCorrChunk, func(lo, hi int) {
+		s.correlateRange(r, dst, lo, hi)
+	})
 	return dst
 }
 
-// ExtensionColumn implements Matrix.
-func (s *Seeded) ExtensionColumn(dst linalg.Vector) linalg.Vector {
-	dst = ensure(dst, s.p.M)
-	col := make(linalg.Vector, s.p.M)
-	for j := 0; j < s.p.N; j++ {
-		fillColumn(s.p, j, col)
-		dst.Add(col)
+// CorrelateSerial is the single-threaded correlation, kept for the
+// parallel-vs-serial equivalence tests and the ablation bench.
+func (s *Seeded) CorrelateSerial(r, dst linalg.Vector) linalg.Vector {
+	if len(r) != s.p.M {
+		panic(fmt.Sprintf("sensing: Correlate vector length %d, want M=%d", len(r), s.p.M))
 	}
-	return dst.Scale(1 / math.Sqrt(float64(s.p.N)))
+	dst = ensureExact(dst, s.p.N)
+	s.correlateRange(r, dst, 0, s.p.N)
+	return dst
+}
+
+// correlateRange fills dst[j] = <φ_j, r> for j in [lo, hi).
+func (s *Seeded) correlateRange(r, dst linalg.Vector, lo, hi int) {
+	col := s.cols.get(s.p.M)
+	for j := lo; j < hi; j++ {
+		fillColumn(s.p, j, *col)
+		dst[j] = col.Dot(r)
+	}
+	s.cols.put(col)
+}
+
+// ExtensionColumn implements Matrix. φ₀ is computed once per matrix
+// (with parallel column regeneration, folded in ascending j — the
+// serial association) and cached; every later call is an O(M) copy.
+func (s *Seeded) ExtensionColumn(dst linalg.Vector) linalg.Vector {
+	s.phi0Once.Do(func() {
+		phi0 := make(linalg.Vector, s.p.M)
+		orderedFold(s.p.N, s.p.M, &s.cols,
+			func(j int, colDst linalg.Vector) { fillColumn(s.p, j, colDst) },
+			func(j int, col linalg.Vector) { phi0.Add(col) })
+		s.phi0 = phi0.Scale(1 / math.Sqrt(float64(s.p.N)))
+	})
+	return copyCached(s.phi0, dst)
 }
 
 // ensure returns dst resized to n and zeroed.
@@ -265,9 +382,7 @@ func ensure(dst linalg.Vector, n int) linalg.Vector {
 		return make(linalg.Vector, n)
 	}
 	dst = dst[:n]
-	for i := range dst {
-		dst[i] = 0
-	}
+	clear(dst)
 	return dst
 }
 

@@ -3,6 +3,7 @@ package sensing
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"csoutlier/internal/linalg"
 	"csoutlier/internal/xrand"
@@ -23,11 +24,19 @@ import (
 // sparse-vs-Gaussian ablation bench.
 //
 // The same (seed, M, N, D) always produces the same matrix, so the
-// consensus property holds exactly as for Dense/Seeded.
+// consensus property holds exactly as for Dense/Seeded. Like Seeded,
+// column j has its own sub-stream, so the correlation kernel fans
+// columns out over GOMAXPROCS workers bit-identically.
 type SparseRademacher struct {
-	p Params
-	d int
+	p        Params
+	d        int
+	phi0Once sync.Once
+	phi0     linalg.Vector
 }
+
+// sparseSalt decorrelates the SparseRademacher sub-streams from the
+// Gaussian columns of the same (seed, j).
+const sparseSalt = 0x5bd1e995
 
 // NewSparseRademacher returns a sparse ensemble with d non-zeros per
 // column. d is clamped to [1, M].
@@ -52,11 +61,11 @@ func (s *SparseRademacher) Params() Params { return s.p }
 
 // columnEntries streams column j's non-zero (row, value) pairs. Rows
 // may repeat across draws; values then accumulate, preserving
-// E[‖φ‖²]=1 (standard for count-sketch-style constructions).
+// E[‖φ‖²]=1 (standard for count-sketch-style constructions). The
+// generator lives on the stack, so streaming a column is allocation-free.
 func (s *SparseRademacher) columnEntries(j int, f func(row int, val float64)) {
-	// Salt the sub-stream so a SparseRademacher column never coincides
-	// with the Gaussian column of the same (seed, j).
-	rng := xrand.New(s.p.Seed ^ 0x5bd1e995).Split(uint64(j) + 1)
+	root := xrand.NewValue(s.p.Seed ^ sparseSalt)
+	rng := root.SplitValue(uint64(j) + 1)
 	inv := 1 / math.Sqrt(float64(s.d))
 	for t := 0; t < s.d; t++ {
 		row := rng.Intn(s.p.M)
@@ -110,27 +119,72 @@ func (s *SparseRademacher) MeasureSparse(idx []int, vals []float64, dst linalg.V
 	return dst
 }
 
-// Correlate implements Matrix.
+// sparseCorrChunk is the minimum columns per worker in the parallel
+// correlation; a column costs only D draws, so chunks must be larger
+// than the Gaussian ensembles' to amortize goroutine dispatch.
+const sparseCorrChunk = 256
+
+// Correlate implements Matrix, fanned over GOMAXPROCS workers. dst[j]
+// depends only on column j's sub-stream and r, so the result is
+// bit-identical to CorrelateSerial for any worker count.
 func (s *SparseRademacher) Correlate(r, dst linalg.Vector) linalg.Vector {
 	if len(r) != s.p.M {
 		panic(fmt.Sprintf("sensing: Correlate vector length %d, want M=%d", len(r), s.p.M))
 	}
-	dst = ensure(dst, s.p.N)
-	for j := 0; j < s.p.N; j++ {
-		sum := 0.0
-		s.columnEntries(j, func(row int, val float64) { sum += val * r[row] })
-		dst[j] = sum
+	dst = ensureExact(dst, s.p.N)
+	if kernelWorkers() < 2 || s.p.N < 2*sparseCorrChunk {
+		s.correlateRange(r, dst, 0, s.p.N)
+		return dst
 	}
+	parallelRanges(s.p.N, sparseCorrChunk, func(lo, hi int) {
+		s.correlateRange(r, dst, lo, hi)
+	})
 	return dst
 }
 
-// ExtensionColumn implements Matrix.
-func (s *SparseRademacher) ExtensionColumn(dst linalg.Vector) linalg.Vector {
-	dst = ensure(dst, s.p.M)
-	for j := 0; j < s.p.N; j++ {
-		s.columnEntries(j, func(row int, val float64) { dst[row] += val })
+// CorrelateSerial is the single-threaded correlation, kept for the
+// parallel-vs-serial equivalence tests and the ablation bench.
+func (s *SparseRademacher) CorrelateSerial(r, dst linalg.Vector) linalg.Vector {
+	if len(r) != s.p.M {
+		panic(fmt.Sprintf("sensing: Correlate vector length %d, want M=%d", len(r), s.p.M))
 	}
-	return dst.Scale(1 / math.Sqrt(float64(s.p.N)))
+	dst = ensureExact(dst, s.p.N)
+	s.correlateRange(r, dst, 0, s.p.N)
+	return dst
+}
+
+// correlateRange fills dst[j] = <φ_j, r> for j in [lo, hi), streaming
+// each column's entries with a stack generator (no closure, no alloc).
+func (s *SparseRademacher) correlateRange(r, dst linalg.Vector, lo, hi int) {
+	root := xrand.NewValue(s.p.Seed ^ sparseSalt)
+	inv := 1 / math.Sqrt(float64(s.d))
+	m, d := s.p.M, s.d
+	for j := lo; j < hi; j++ {
+		rng := root.SplitValue(uint64(j) + 1)
+		sum := 0.0
+		for t := 0; t < d; t++ {
+			row := rng.Intn(m)
+			if rng.Uint64()&1 == 0 {
+				sum -= inv * r[row]
+			} else {
+				sum += inv * r[row]
+			}
+		}
+		dst[j] = sum
+	}
+}
+
+// ExtensionColumn implements Matrix. φ₀ is computed once per matrix and
+// cached; every later call is an O(M) copy.
+func (s *SparseRademacher) ExtensionColumn(dst linalg.Vector) linalg.Vector {
+	s.phi0Once.Do(func() {
+		phi0 := make(linalg.Vector, s.p.M)
+		for j := 0; j < s.p.N; j++ {
+			s.columnEntries(j, func(row int, val float64) { phi0[row] += val })
+		}
+		s.phi0 = phi0.Scale(1 / math.Sqrt(float64(s.p.N)))
+	})
+	return copyCached(s.phi0, dst)
 }
 
 var _ Matrix = (*SparseRademacher)(nil)

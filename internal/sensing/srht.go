@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"csoutlier/internal/linalg"
 	"csoutlier/internal/xrand"
@@ -21,18 +22,24 @@ import (
 // Φ₀ᵀr is a single inverse transform, O(P·log P) instead of the
 // Gaussian O(M·N). For the paper's production sizes (N ≈ 10K, M ≈ 10³)
 // that is a ~100× cheaper correlation step, attacking the same
-// recovery-cost bottleneck the paper's GPU future-work targets.
+// recovery-cost bottleneck the paper's GPU future-work targets. On
+// multi-core hosts the transform itself additionally fans its butterfly
+// stages over GOMAXPROCS workers (bit-identically — butterflies within
+// a stage touch disjoint element pairs).
 //
 // Columns beyond N (the power-of-two padding) are never exposed: the
 // Matrix interface presents an M×N matrix exactly like the other
 // ensembles, and identical (seed, M, N) always yields the identical
 // transform on every node.
 type SRHT struct {
-	p     Params
-	pad   int       // P: padded dimension, power of two ≥ N
-	signs []float64 // D diagonal, length pad
-	rows  []int     // R: the M selected Hadamard rows, sorted
-	scale float64   // √(P/M) / √P  = 1/√(M)  ... see newSRHT
+	p        Params
+	pad      int       // P: padded dimension, power of two ≥ N
+	signs    []float64 // D diagonal, length pad
+	rows     []int     // R: the M selected Hadamard rows, sorted
+	scale    float64   // √(P/M) / √P  = 1/√(M)  ... see NewSRHT
+	bufs     vecPool   // pooled P-length transform buffers
+	phi0Once sync.Once
+	phi0     linalg.Vector
 }
 
 // NewSRHT builds the transform for the given consensus parameters.
@@ -89,6 +96,65 @@ func fwht(a []float64) {
 	}
 }
 
+// fwhtParallelMin is the transform length below which the parallel FWHT
+// falls back to the serial one — under it, goroutine dispatch costs more
+// than the O(P log P) work saves.
+const fwhtParallelMin = 1 << 13
+
+// fwhtStage applies the stride-h butterfly stage to pair indices
+// [lo, hi): pair t couples elements (j, j+h) with j = ⌊t/h⌋·2h + t mod h.
+// Pairs within a stage touch disjoint elements, so any partition of the
+// pair-index space computes bit-identical results.
+func fwhtStage(a []float64, h, lo, hi int) {
+	blk := lo / h
+	off := lo % h
+	j := blk*(h<<1) + off
+	for t := lo; t < hi; t++ {
+		x, y := a[j], a[j+h]
+		a[j], a[j+h] = x+y, x-y
+		off++
+		j++
+		if off == h {
+			off = 0
+			j += h
+		}
+	}
+}
+
+// fwhtParallel is fwht fanned over GOMAXPROCS workers: segment-local
+// transforms first (stages h < seg never cross a segment boundary), then
+// the remaining cross-segment stages with the pair-index space
+// partitioned per stage. Every butterfly computes the same two elements
+// from the same two inputs as in the serial order, so the result is
+// bit-identical to fwht for any worker count.
+func fwhtParallel(a []float64) {
+	n := len(a)
+	w := kernelWorkers()
+	if w < 2 || n < fwhtParallelMin {
+		fwht(a)
+		return
+	}
+	seg := n
+	for seg >= 2048 && n/seg < w {
+		seg >>= 1
+	}
+	if seg >= n {
+		fwht(a)
+		return
+	}
+	nseg := n / seg
+	parallelRanges(nseg, 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			fwht(a[k*seg : (k+1)*seg])
+		}
+	})
+	for h := seg; h < n; h <<= 1 {
+		parallelRanges(n/2, 4096, func(lo, hi int) {
+			fwhtStage(a, h, lo, hi)
+		})
+	}
+}
+
 // hadamardEntry returns H[r][c] ∈ {+1, −1} for the unnormalized
 // Walsh–Hadamard matrix: (−1)^popcount(r AND c).
 func hadamardEntry(r, c int) float64 {
@@ -111,20 +177,24 @@ func (s *SRHT) Col(j int, dst linalg.Vector) linalg.Vector {
 	return dst
 }
 
-// Measure implements Matrix with one O(P log P) transform.
+// Measure implements Matrix with one O(P log P) transform on a pooled
+// buffer (no steady-state allocation).
 func (s *SRHT) Measure(x, dst linalg.Vector) linalg.Vector {
 	if len(x) != s.p.N {
 		panic(fmt.Sprintf("sensing: Measure vector length %d, want N=%d", len(x), s.p.N))
 	}
-	buf := make([]float64, s.pad)
+	bp := s.bufs.get(s.pad)
+	buf := *bp
+	clear(buf)
 	for j, v := range x {
 		buf[j] = v * s.signs[j]
 	}
-	fwht(buf)
+	fwhtParallel(buf)
 	dst = ensureExact(dst, s.p.M)
 	for i, r := range s.rows {
 		dst[i] = buf[r] * s.scale
 	}
+	s.bufs.put(bp)
 	return dst
 }
 
@@ -134,14 +204,18 @@ func (s *SRHT) Measure(x, dst linalg.Vector) linalg.Vector {
 func (s *SRHT) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
 	logP := bits.Len(uint(s.pad)) - 1
 	if len(idx)*s.p.M > s.pad*logP {
-		x := make(linalg.Vector, s.p.N)
+		xp := s.bufs.get(s.p.N)
+		x := *xp
+		clear(x)
 		for k, j := range idx {
 			if j < 0 || j >= s.p.N {
 				panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, s.p.N))
 			}
 			x[j] += vals[k]
 		}
-		return s.Measure(x, dst)
+		dst = s.Measure(x, dst)
+		s.bufs.put(xp)
+		return dst
 	}
 	dst = ensure(dst, s.p.M)
 	for k, j := range idx {
@@ -161,30 +235,69 @@ func (s *SRHT) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linal
 }
 
 // Correlate implements Matrix with one O(P log P) adjoint transform:
-// Φ₀ᵀr = D·Hᵀ·Rᵀ·r·scale, and Hᵀ = H.
+// Φ₀ᵀr = D·Hᵀ·Rᵀ·r·scale, and Hᵀ = H. The transform and the final
+// scaling both fan out over workers; see fwhtParallel for why the
+// result stays bit-identical to CorrelateSerial.
 func (s *SRHT) Correlate(r, dst linalg.Vector) linalg.Vector {
+	return s.correlate(r, dst, true)
+}
+
+// CorrelateSerial is the single-threaded correlation, kept for the
+// parallel-vs-serial equivalence tests and the ablation bench.
+func (s *SRHT) CorrelateSerial(r, dst linalg.Vector) linalg.Vector {
+	return s.correlate(r, dst, false)
+}
+
+func (s *SRHT) correlate(r, dst linalg.Vector, par bool) linalg.Vector {
 	if len(r) != s.p.M {
 		panic(fmt.Sprintf("sensing: Correlate vector length %d, want M=%d", len(r), s.p.M))
 	}
-	buf := make([]float64, s.pad)
+	// Resolve the worker check here rather than inside the helpers:
+	// creating a parallelRanges closure heap-allocates even when the
+	// degenerate single-range path runs, so single-core hosts (and the
+	// serial ablation) must not reach the parallel helpers at all.
+	par = par && kernelWorkers() >= 2
+	bp := s.bufs.get(s.pad)
+	buf := *bp
+	clear(buf)
 	for i, row := range s.rows {
 		buf[row] += r[i]
 	}
-	fwht(buf)
 	dst = ensureExact(dst, s.p.N)
-	for j := 0; j < s.p.N; j++ {
-		dst[j] = buf[j] * s.signs[j] * s.scale
+	if par {
+		fwhtParallel(buf)
+		s.scaleParallel(buf, dst)
+	} else {
+		fwht(buf)
+		for j := 0; j < s.p.N; j++ {
+			dst[j] = buf[j] * s.signs[j] * s.scale
+		}
 	}
+	s.bufs.put(bp)
 	return dst
 }
 
-// ExtensionColumn implements Matrix: φ₀ = (1/√N)·Σⱼ φⱼ, computed by
-// measuring the all-ones data vector.
+// scaleParallel fans the final D·scale application over workers. Kept
+// out of correlate so its closure allocation only happens on the truly
+// parallel path.
+func (s *SRHT) scaleParallel(buf []float64, dst linalg.Vector) {
+	parallelRanges(s.p.N, 4096, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			dst[j] = buf[j] * s.signs[j] * s.scale
+		}
+	})
+}
+
+// ExtensionColumn implements Matrix: φ₀ = (1/√N)·Σⱼ φⱼ, computed once by
+// measuring the all-ones data vector and cached; every later call is an
+// O(M) copy.
 func (s *SRHT) ExtensionColumn(dst linalg.Vector) linalg.Vector {
-	ones := make(linalg.Vector, s.p.N)
-	ones.Fill(1)
-	dst = s.Measure(ones, dst)
-	return dst.Scale(1 / math.Sqrt(float64(s.p.N)))
+	s.phi0Once.Do(func() {
+		ones := make(linalg.Vector, s.p.N)
+		ones.Fill(1)
+		s.phi0 = s.Measure(ones, nil).Scale(1 / math.Sqrt(float64(s.p.N)))
+	})
+	return copyCached(s.phi0, dst)
 }
 
 var _ Matrix = (*SRHT)(nil)

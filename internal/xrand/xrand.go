@@ -42,7 +42,16 @@ type RNG struct {
 // New returns a generator seeded from seed. Distinct seeds give
 // independent-looking streams even when numerically adjacent.
 func New(seed uint64) *RNG {
-	r := &RNG{
+	r := NewValue(seed)
+	return &r
+}
+
+// NewValue is New returning the generator by value. Hot loops that
+// build one short-lived generator per matrix column use it to keep the
+// generator on the stack — the pointer-returning New forces a heap
+// allocation per call. The stream is bit-identical to New(seed)'s.
+func NewValue(seed uint64) RNG {
+	r := RNG{
 		hi: splitmix64(seed),
 		lo: splitmix64(seed ^ 0xda3e39cb94b95bdb),
 	}
@@ -57,7 +66,14 @@ func New(seed uint64) *RNG {
 // consume randomness from r and may be called concurrently with other
 // Splits of the same parent only if externally synchronized.
 func (r *RNG) Split(label uint64) *RNG {
-	s := &RNG{
+	s := r.SplitValue(label)
+	return &s
+}
+
+// SplitValue is Split returning the generator by value (see NewValue).
+// The derived stream is bit-identical to Split(label)'s.
+func (r *RNG) SplitValue(label uint64) RNG {
+	s := RNG{
 		hi: splitmix64(r.hi ^ splitmix64(label)),
 		lo: splitmix64(r.lo ^ splitmix64(label^0xa5a5a5a5a5a5a5a5)),
 	}

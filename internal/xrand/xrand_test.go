@@ -253,3 +253,28 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = r.NormFloat64()
 	}
 }
+
+// TestValueConstructorsBitIdentical pins NewValue/SplitValue to the
+// pointer-returning constructors: the sensing kernels build one
+// stack-allocated generator per column through the value API, and the
+// consensus protocol requires the streams to be bit-for-bit the same.
+func TestValueConstructorsBitIdentical(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		a := New(seed)
+		b := NewValue(seed)
+		for i := 0; i < 64; i++ {
+			if got, want := b.Uint64(), a.Uint64(); got != want {
+				t.Fatalf("seed %d: NewValue diverges at output %d: %x vs %x", seed, i, got, want)
+			}
+		}
+		for _, label := range []uint64{1, 7, 1 << 40} {
+			sa := New(seed).Split(label)
+			sb := New(seed).SplitValue(label)
+			for i := 0; i < 64; i++ {
+				if got, want := sb.NormFloat64(), sa.NormFloat64(); got != want {
+					t.Fatalf("seed %d label %d: SplitValue diverges at output %d", seed, label, i)
+				}
+			}
+		}
+	}
+}

@@ -3,11 +3,16 @@
 #
 #   scripts/verify.sh          # tier-1 + race + simulation smoke
 #   scripts/verify.sh -quick   # tier-1 only
+#   scripts/verify.sh -bench   # tier-1 + 1-iteration benchmark smoke
 #
 # Tier-1 (build, vet, full test suite) is the floor every change must
-# clear; the race pass covers the concurrency-heavy transport/collector;
-# the simulation smoke runs randomized end-to-end scenarios against the
-# exact oracle (see internal/simtest). Raise -sim.count for soak runs.
+# clear; the race pass covers the concurrency-heavy transport/collector
+# AND the column-parallel sensing/recovery kernels; the simulation smoke
+# runs randomized end-to-end scenarios against the exact oracle (see
+# internal/simtest). Raise -sim.count for soak runs. The -bench mode
+# compiles and runs every benchmark exactly once — it catches bit-rotted
+# benchmark code without paying for a real measurement (use
+# scripts/bench.sh for that).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,9 +21,19 @@ go build ./...
 go vet ./...
 go test ./...
 
-[ "${1:-}" = "-quick" ] && exit 0
+case "${1:-}" in
+-quick)
+	exit 0
+	;;
+-bench)
+	echo "== bench smoke: every benchmark, one iteration =="
+	go test -run - -bench . -benchtime 1x ./...
+	echo "verify: OK (bench smoke)"
+	exit 0
+	;;
+esac
 
-echo "== race: full suite =="
+echo "== race: full suite (includes parallel kernel equivalence tests) =="
 go test -race ./...
 
 echo "== simulation smoke: randomized end-to-end scenarios =="
