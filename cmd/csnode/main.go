@@ -16,10 +16,20 @@
 // The dictionary file holds one key per line, sorted (composite keys for
 // the raw mode: GROUP BY values joined with "|"). All nodes of one
 // deployment must use the same dictionary file.
+//
+// Streaming mode: with -push, the node additionally streams its slice
+// into a csstreamd aggregator as window-tagged sketch deltas — observing
+// -push-chunk keys at a time, flushing a delta every -push-every — while
+// still serving the pull API. The sketch consensus (-m, -seed,
+// -ensemble) must match the daemon's:
+//
+//	csnode -listen :7001 -dict keys.txt -data slice.csv \
+//	       -push agg:7100 -m 500 -push-every 2s
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -29,11 +39,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"csoutlier"
 	"csoutlier/internal/cluster"
 	"csoutlier/internal/keydict"
 	"csoutlier/internal/linalg"
+	"csoutlier/internal/stream"
 )
 
 func main() {
@@ -45,6 +57,15 @@ func main() {
 		name     = flag.String("name", "", "node name (default: listen address)")
 		idleTO   = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 		reqTO    = flag.Duration("request-timeout", 0, "per-request handling budget (0 = unbounded)")
+
+		push      = flag.String("push", "", "stream deltas to a csstreamd aggregator at this address")
+		pushEvery = flag.Duration("push-every", 2*time.Second, "delay between delta flushes in -push mode (also the heartbeat period once the slice is drained)")
+		pushChunk = flag.Int("push-chunk", 256, "keys observed per delta flush in -push mode")
+		m         = flag.Int("m", 0, "measurement count M for -push mode (must match the daemon)")
+		seed      = flag.Uint64("seed", 42, "consensus measurement seed for -push mode")
+		ensemble  = flag.String("ensemble", "gaussian", "measurement ensemble for -push mode: gaussian, sparse or srht")
+		sparseD   = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
+		epoch     = flag.Uint64("epoch", 1, "incarnation number for -push mode; bump after a restart so the daemon resets this node's sequence space")
 	)
 	flag.Parse()
 	if *dictPath == "" || *dataPath == "" {
@@ -75,12 +96,89 @@ func main() {
 		log.Fatalf("csnode: listen: %v", err)
 	}
 	log.Printf("csnode %q serving %d keys on %s", *name, dict.N(), ln.Addr())
+	if *push != "" {
+		if *m <= 0 {
+			fmt.Fprintln(os.Stderr, "csnode: -push requires -m (the daemon's sketch length)")
+			os.Exit(2)
+		}
+		ens, err := parseEnsemble(*ensemble)
+		if err != nil {
+			log.Fatalf("csnode: %v", err)
+		}
+		sk, err := csoutlier.NewSketcher(dict.Keys(), csoutlier.Config{
+			M: *m, Seed: *seed, Ensemble: ens, SparseD: *sparseD,
+		})
+		if err != nil {
+			log.Fatalf("csnode: %v", err)
+		}
+		go pushSlice(sk, dict, x, *push, *name, *epoch, *pushEvery, *pushChunk)
+	}
 	if err := cluster.ServeWith(ln, node, cluster.ServeOptions{
 		IdleTimeout:    *idleTO,
 		RequestTimeout: *reqTO,
 	}); err != nil {
 		log.Fatalf("csnode: serve: %v", err)
 	}
+}
+
+// pushSlice streams the loaded slice into a csstreamd aggregator as a
+// sequence of delta frames — pushChunk keys per flush, one flush per
+// pushEvery — then keeps heartbeating so the daemon's liveness table
+// and this node's window view stay fresh. Runs alongside the pull API:
+// the same slice is available both ways.
+func pushSlice(sk *csoutlier.Sketcher, dict *keydict.Dictionary, x linalg.Vector,
+	addr, name string, epoch uint64, pushEvery time.Duration, pushChunk int) {
+	if pushChunk <= 0 {
+		pushChunk = 256
+	}
+	ctx := context.Background()
+	n, err := stream.Dial(ctx, addr, sk, name, stream.NodeOptions{Epoch: epoch})
+	if err != nil {
+		log.Printf("csnode: push: %v (streaming disabled, pull API unaffected)", err)
+		return
+	}
+	log.Printf("csnode: pushing to %s as %q (epoch %d, window %d)", addr, name, epoch, n.Window())
+	inChunk := 0
+	for idx, v := range x {
+		if v == 0 {
+			continue
+		}
+		if err := n.Observe(dict.Key(idx), v); err != nil {
+			log.Printf("csnode: push observe: %v", err)
+			return
+		}
+		if inChunk++; inChunk >= pushChunk {
+			inChunk = 0
+			if err := n.Flush(ctx); err != nil {
+				log.Printf("csnode: push flush: %v", err)
+			}
+			time.Sleep(pushEvery)
+		}
+	}
+	if err := n.Flush(ctx); err != nil {
+		log.Printf("csnode: push flush: %v", err)
+	}
+	s := n.Stats()
+	log.Printf("csnode: slice streamed: %d deltas captured, %d applied, %d redials; heartbeating every %v",
+		s.Captured, s.Applied, s.Redials, pushEvery)
+	for {
+		time.Sleep(pushEvery)
+		if err := n.Sync(ctx); err != nil {
+			log.Printf("csnode: push heartbeat: %v", err)
+		}
+	}
+}
+
+func parseEnsemble(name string) (csoutlier.Ensemble, error) {
+	switch name {
+	case "gaussian":
+		return csoutlier.Gaussian, nil
+	case "sparse":
+		return csoutlier.SparseRademacher, nil
+	case "srht":
+		return csoutlier.SRHT, nil
+	}
+	return 0, fmt.Errorf("unknown ensemble %q (want gaussian, sparse or srht)", name)
 }
 
 func loadDict(path string) (*keydict.Dictionary, error) {

@@ -1,0 +1,163 @@
+// Command csstreamd is the streaming aggregation daemon: the
+// long-running counterpart of csagg for the continuous-ingest setting.
+// Nodes (csnode -push, or anything speaking internal/stream's delta
+// protocol) push window-tagged sketch deltas; csstreamd folds each
+// exactly once into a ring of per-window global sketches, rotates
+// windows on a wall clock, and periodically reports the k strongest
+// outliers over a recent span together with per-node liveness.
+//
+// Usage:
+//
+//	csstreamd -listen :7100 -dict keys.txt -m 500 -k 10 \
+//	          -window-every 10m -windows 8 -report-every 1m
+//
+// Every pushing node must use the same dictionary, M, seed and
+// ensemble; a node with a mismatched consensus is rejected frame by
+// frame before it can corrupt the aggregate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"csoutlier"
+	"csoutlier/internal/keydict"
+	"csoutlier/internal/stream"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":7100", "address to accept node pushes on")
+		dictPath    = flag.String("dict", "", "global key dictionary file (one key per line, sorted)")
+		m           = flag.Int("m", 0, "measurement count M (sketch length)")
+		seed        = flag.Uint64("seed", 42, "consensus measurement seed")
+		ensemble    = flag.String("ensemble", "gaussian", "measurement ensemble: gaussian, sparse or srht")
+		sparseD     = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
+		windows     = flag.Int("windows", 8, "window ring size: current window plus windows-1 sealed ones stay queryable")
+		windowEvery = flag.Duration("window-every", 10*time.Minute, "wall-clock window rotation period (0 = never rotate)")
+		queue       = flag.Int("queue", 64, "ingest queue depth; when full, TCP backpressure reaches the nodes")
+		k           = flag.Int("k", 10, "outliers per report")
+		span        = flag.Int("span", 0, "report outliers over the last span windows (0 = all available)")
+		reportEvery = flag.Duration("report-every", time.Minute, "how often to print the outlier/liveness report (0 = only on shutdown)")
+		idleTO      = flag.Duration("idle-timeout", 5*time.Minute, "drop node connections silent for this long (0 = never)")
+	)
+	flag.Parse()
+	if *dictPath == "" || *m <= 0 {
+		fmt.Fprintln(os.Stderr, "csstreamd: -dict and -m are required")
+		os.Exit(2)
+	}
+	ens, err := parseEnsemble(*ensemble)
+	if err != nil {
+		log.Fatalf("csstreamd: %v", err)
+	}
+
+	f, err := os.Open(*dictPath)
+	if err != nil {
+		log.Fatalf("csstreamd: %v", err)
+	}
+	dict, err := keydict.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("csstreamd: %v", err)
+	}
+	sk, err := csoutlier.NewSketcher(dict.Keys(), csoutlier.Config{
+		M: *m, Seed: *seed, Ensemble: ens, SparseD: *sparseD,
+	})
+	if err != nil {
+		log.Fatalf("csstreamd: %v", err)
+	}
+
+	agg, err := stream.NewAggregator(sk, stream.AggregatorOptions{
+		Windows:     *windows,
+		WindowEvery: *windowEvery,
+		QueueDepth:  *queue,
+		IdleTimeout: *idleTO,
+	})
+	if err != nil {
+		log.Fatalf("csstreamd: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("csstreamd: listen: %v", err)
+	}
+	log.Printf("csstreamd serving %d keys (M=%d, %s) on %s; windows=%d every %v",
+		dict.N(), *m, *ensemble, ln.Addr(), *windows, *windowEvery)
+	go func() {
+		if err := agg.Serve(ln); err != nil {
+			log.Fatalf("csstreamd: serve: %v", err)
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *reportEvery > 0 {
+		t := time.NewTicker(*reportEvery)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-tick:
+			report(agg, *k, *span)
+		case sig := <-sigc:
+			log.Printf("csstreamd: %v: draining", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := agg.Close(ctx)
+			cancel()
+			if err != nil {
+				log.Printf("csstreamd: %v", err)
+			}
+			report(agg, *k, *span) // final state, after the drain
+			return
+		}
+	}
+}
+
+// report prints the standing outlier query and the node/ingest state.
+func report(agg *stream.Aggregator, k, span int) {
+	avail := agg.AvailableWindows()
+	if span <= 0 || span > avail {
+		span = avail
+	}
+	s := agg.Stats()
+	log.Printf("window %d: %d deltas applied (%d dup, %d dropped, %d rejected), %d rotations, cache %d/%d hit",
+		s.Window, s.Applied, s.Duplicates, s.Dropped, s.Rejected, s.Rotations, s.CacheHits, s.CacheHits+s.CacheMisses)
+	for _, ns := range agg.Nodes() {
+		log.Printf("  node %-12s epoch=%d lag=%d applied=%d dup=%d dropped=%d rejected=%d restarts=%d last-seen=%s",
+			ns.Node, ns.Epoch, ns.Lag, ns.Applied, ns.Duplicates, ns.Dropped, ns.Rejected, ns.Restarts,
+			time.Since(ns.LastSeen).Round(time.Millisecond))
+	}
+	if s.Applied == 0 {
+		return
+	}
+	rep, err := agg.Outliers(0, span-1, k)
+	if err != nil {
+		log.Printf("csstreamd: outlier query: %v", err)
+		return
+	}
+	log.Printf("  top-%d outliers over last %d window(s) (mode %.6g, %d recovery iterations):",
+		k, span, rep.Mode, rep.Iterations)
+	for i, o := range rep.Outliers {
+		log.Printf("  %2d. %-40s value %.6g (divergence %+.6g)", i+1, o.Key, o.Value, o.Value-rep.Mode)
+	}
+}
+
+func parseEnsemble(name string) (csoutlier.Ensemble, error) {
+	switch name {
+	case "gaussian":
+		return csoutlier.Gaussian, nil
+	case "sparse":
+		return csoutlier.SparseRademacher, nil
+	case "srht":
+		return csoutlier.SRHT, nil
+	}
+	return 0, fmt.Errorf("unknown ensemble %q (want gaussian, sparse or srht)", name)
+}

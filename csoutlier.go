@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"csoutlier/internal/keydict"
+	"csoutlier/internal/linalg"
 	"csoutlier/internal/outlier"
 	"csoutlier/internal/recovery"
 	"csoutlier/internal/sensing"
@@ -166,6 +167,13 @@ type Sketcher struct {
 	// recovery scratch (QR factorization, correlation and residual
 	// buffers) instead of reallocating it per query.
 	ws sync.Pool
+
+	// colPool recycles M-length scratch vectors for column generation and
+	// sparse measurement across every Updater and WindowStore bound to
+	// this Sketcher. Generating a Φ column is O(M) PRNG work; doing it on
+	// a pooled buffer outside the ingest mutexes is what lets concurrent
+	// writers scale instead of serializing on the critical section.
+	colPool sync.Pool
 }
 
 // denseLimit caps M·N for materializing the measurement matrix.
@@ -234,18 +242,37 @@ func (s *Sketcher) Keys() []string { return s.dict.Keys() }
 // communication a sketch costs.
 func (s *Sketcher) CompressionRatio() float64 { return s.params.CompressionRatio() }
 
-// emptySketch returns a zero sketch with this sketcher's identity.
-func (s *Sketcher) emptySketch() Sketch {
+// sketchID returns this sketcher's consensus identity without a payload
+// — enough for compatibility checks, with no O(M) allocation.
+func (s *Sketcher) sketchID() Sketch {
 	d := 0
 	if sr, ok := s.matrix.(*sensing.SparseRademacher); ok {
 		d = sr.D()
 	}
 	return Sketch{
-		Y: make([]float64, s.params.M),
 		m: s.params.M, n: s.params.N, seed: s.params.Seed,
 		ens: s.cfg.Ensemble, d: d,
 	}
 }
+
+// emptySketch returns a zero sketch with this sketcher's identity.
+func (s *Sketcher) emptySketch() Sketch {
+	out := s.sketchID()
+	out.Y = make([]float64, s.params.M)
+	return out
+}
+
+// getCol checks an M-length scratch vector out of the shared pool.
+func (s *Sketcher) getCol() *linalg.Vector {
+	if v, ok := s.colPool.Get().(*linalg.Vector); ok {
+		return v
+	}
+	v := make(linalg.Vector, s.params.M)
+	return &v
+}
+
+// putCol returns a scratch vector to the pool.
+func (s *Sketcher) putCol(v *linalg.Vector) { s.colPool.Put(v) }
 
 // ZeroSketch returns an all-zero sketch, the identity for Add — useful
 // as an accumulator at the aggregator.

@@ -1,21 +1,27 @@
-// Streaming: standing sketches over live event streams, plus the
-// broader aggregation queries.
+// Streaming: the push-based continuous-detection service end to end.
 //
 // Two nodes ingest a stream of click events one at a time; each event
-// folds into a standing O(M) sketch (no raw data is retained). At any
-// moment the aggregator can combine the standing sketches and answer
-// not just the k-outlier query but the related aggregates the paper
-// lists (§1): sum, mean, percentiles, top-k — all from one recovery
-// pass over the compact (mode + outliers) representation.
+// folds into a standing O(M) sketch (no raw data is retained). The
+// nodes periodically flush *deltas* — everything observed since the
+// last flush — over TCP to a streaming aggregator, which folds them
+// exactly once into per-window global sketches. The aggregator then
+// answers the k-outlier query, the broader aggregates the paper lists
+// (§1: sum, mean, percentiles, top-k), and window-scoped variants
+// ("outliers in the last window" vs "outliers today"), all without ever
+// seeing a raw event.
 //
 // Run: go run ./examples/streaming
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"time"
 
 	"csoutlier"
+	"csoutlier/internal/stream"
 	"csoutlier/internal/xrand"
 )
 
@@ -28,14 +34,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	// Two ingest nodes with standing sketches.
-	west, east := sk.NewUpdater(), sk.NewUpdater()
-	rng := xrand.New(1)
+	// The aggregator daemon side: per-window global sketches, manual
+	// rotation for the demo (csstreamd rotates on a wall clock).
+	agg, err := stream.NewAggregator(sk, stream.AggregatorOptions{Windows: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go agg.Serve(ln)
 
-	// Simulate a day of events: every segment accrues ~ the same score
+	// Two ingest nodes, connected over real TCP.
+	west, err := stream.Dial(ctx, ln.Addr().String(), sk, "west", stream.NodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	east, err := stream.Dial(ctx, ln.Addr().String(), sk, "east", stream.NodeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Window 1 — a day of events: every segment accrues ~ the same score
 	// in small increments, split across nodes...
+	rng := xrand.New(1)
 	const mode = 1200.0
+	events := 0
 	for _, k := range keys {
 		remaining := mode
 		for remaining > 0 {
@@ -43,12 +70,19 @@ func main() {
 			if inc > remaining {
 				inc = remaining
 			}
-			u := west
+			n := west
 			if rng.Float64() < 0.5 {
-				u = east
+				n = east
 			}
-			if err := u.Observe(k, inc); err != nil {
+			if err := n.Observe(k, inc); err != nil {
 				log.Fatal(err)
+			}
+			if events++; events%5000 == 0 {
+				// Mid-stream flushes: deltas, not snapshots — each ships
+				// only what arrived since the previous flush.
+				if err := n.Flush(ctx); err != nil {
+					log.Fatal(err)
+				}
 			}
 			remaining -= inc
 		}
@@ -60,53 +94,102 @@ func main() {
 		"segment-137": -4100, // quick-back storm
 		"segment-555": +3300,
 	}
-	for k, total := range anomalies {
-		per := total / 80
+	for _, k := range []string{"segment-042", "segment-137", "segment-555"} {
+		per := anomalies[k] / 80
 		for i := 0; i < 80; i++ {
 			if err := east.Observe(k, per); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
-	fmt.Printf("west ingested %d observations, east %d — each retains only %d floats\n\n",
-		west.Updates(), east.Updates(), sk.M())
-
-	// Aggregator: combine standing sketches, answer everything at once.
-	global := west.Sketch()
-	if err := global.Add(east.Sketch()); err != nil {
-		log.Fatal(err)
+	for _, n := range []*stream.Node{west, east} {
+		if err := n.Flush(ctx); err != nil {
+			log.Fatal(err)
+		}
 	}
-	rep, err := sk.Aggregate(global, 40)
+	ws, es := west.Stats(), east.Stats()
+	fmt.Printf("window 1: west shipped %d deltas, east %d — each only ever holds %d floats\n\n",
+		ws.Applied, es.Applied, sk.M())
+
+	// The continuous-detection query, straight off the aggregator. A
+	// repeat of the same standing query with no new data is a cache hit:
+	// no recovery work at all.
+	rep, err := agg.Outliers(0, 0, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mode   %10.1f   (true %.1f)\n", rep.Mode(), mode)
-	fmt.Printf("sum    %10.1f   (true %.1f)\n", rep.Sum(), mode*800+5200-4100+3300)
-	fmt.Printf("mean   %10.2f\n", rep.Mean())
-	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
-		v, err := rep.Percentile(q)
+	fmt.Println("k-outlier view (divergence from mode, both directions):")
+	for i, o := range rep.Outliers {
+		fmt.Printf("  %d. %-12s %10.1f (true anomaly %+.0f)\n", i+1, o.Key, o.Value, anomalies[o.Key])
+	}
+	if _, err := agg.Outliers(0, 0, 3); err != nil {
+		log.Fatal(err)
+	}
+	st := agg.Stats()
+	fmt.Printf("standing query re-run: %d cache hit / %d miss\n\n", st.CacheHits, st.CacheMisses)
+
+	// The broader aggregation queries, from the same global sketch.
+	global, err := agg.RangeSketch(0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arep, err := sk.Aggregate(global, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mode   %10.1f   (true %.1f)\n", arep.Mode(), mode)
+	fmt.Printf("sum    %10.1f   (true %.1f)\n", arep.Sum(), mode*800+5200-4100+3300)
+	fmt.Printf("mean   %10.2f\n", arep.Mean())
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		v, err := arep.Percentile(q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("p%-5.3g %10.1f\n", q*100, v)
 	}
-	fmt.Printf("range  %10.1f\n\n", rep.Range())
 
-	fmt.Println("top-3 segments by recovered score:")
-	for i, o := range rep.TopK(3) {
-		fmt.Printf("  %d. %-12s %10.1f\n", i+1, o.Key, o.Value)
+	// Window 2 — rotate, and let a fresh anomaly develop. Nodes learn
+	// the new window from their next ack; west syncs explicitly.
+	agg.Rotate()
+	if err := west.Sync(ctx); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("bottom-2 segments:")
-	for i, o := range rep.BottomK(2) {
-		fmt.Printf("  %d. %-12s %10.1f\n", i+1, o.Key, o.Value)
+	for i := 0; i < 60; i++ {
+		if err := west.Observe("segment-700", 95); err != nil {
+			log.Fatal(err)
+		}
 	}
-
-	det, err := sk.Detect(global, 3)
+	if err := west.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := agg.Outliers(0, 0, 1) // current window only
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nk-outlier view (divergence from mode, both directions):")
-	for i, o := range det.Outliers {
-		fmt.Printf("  %d. %-12s %10.1f (true anomaly %+.0f)\n", i+1, o.Key, o.Value, anomalies[o.Key])
+	wide, err := agg.Outliers(0, 1, 3) // both windows
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter rotation: window-2-only top outlier: %s (%.0f)\n",
+		fresh.Outliers[0].Key, fresh.Outliers[0].Value)
+	fmt.Printf("two-window span still sees history:        %s, %s, %s\n",
+		wide.Outliers[0].Key, wide.Outliers[1].Key, wide.Outliers[2].Key)
+
+	// Per-node liveness, as csstreamd would report it.
+	fmt.Println("\naggregator's node table:")
+	for _, ns := range agg.Nodes() {
+		fmt.Printf("  %-5s epoch=%d lag=%d applied=%d\n", ns.Node, ns.Epoch, ns.Lag, ns.Applied)
+	}
+
+	// Graceful shutdown: nodes drain, then the aggregator.
+	cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	for _, n := range []*stream.Node{west, east} {
+		if err := n.Close(cctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := agg.Close(cctx); err != nil {
+		log.Fatal(err)
 	}
 }

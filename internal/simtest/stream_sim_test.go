@@ -1,0 +1,88 @@
+package simtest
+
+import (
+	"flag"
+	"testing"
+)
+
+var (
+	flagStreamCount = flag.Int("sim.streamcount", 3,
+		"number of randomized streaming scenarios TestStreamSoak checks")
+	flagStreamReplay = flag.String("sim.streamreplay", "",
+		"replay a single streaming scenario from its failure-message one-liner")
+)
+
+// TestStreamSoak is the streaming harness entry point: randomized
+// scenarios of ≥ 4 nodes pushing window-tagged deltas through chaos TCP
+// proxies into a live aggregator, with a scheduled node crash/restart
+// and injected duplicate flushes. Each scenario's per-window aggregator
+// sketches must be bit-identical to a shadow mirror of the exact fold
+// sequence, and the recovered outliers must match the exact centralized
+// oracle for every contiguous window span.
+func TestStreamSoak(t *testing.T) {
+	if *flagStreamReplay != "" {
+		scn, err := ParseStreamScenario(*flagStreamReplay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckStreamScenario(scn); err != nil {
+			t.Fatalf("replayed streaming scenario failed: %v\nscenario: %s", err, scn)
+		}
+		return
+	}
+	base := baseSeed(t)
+	for i := 0; i < *flagStreamCount; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			scn := GenerateStream(base, i)
+			if err := CheckStreamScenario(scn); err != nil {
+				t.Fatalf("streaming scenario %d (base seed %d) failed: %v\n"+
+					"replay: go test ./internal/simtest -run 'TestStreamSoak$' -sim.streamreplay='%s'",
+					i, base, err, scn)
+			}
+		})
+	}
+}
+
+// TestStreamScenarioRoundTrip covers the streaming scenario codec and
+// generator invariants: generated scenarios always include ≥ 4 nodes,
+// a crash, a distinct dup node, and proxy budgets that pass a frame.
+func TestStreamScenarioRoundTrip(t *testing.T) {
+	base := baseSeed(t)
+	for i := 0; i < 8; i++ {
+		scn := GenerateStream(base, i)
+		if scn.L < 4 {
+			t.Fatalf("scenario %d has %d nodes, want ≥ 4: %s", i, scn.L, scn)
+		}
+		if scn.CrashNode == scn.DupNode {
+			t.Fatalf("scenario %d crash and dup coincide: %s", i, scn)
+		}
+		if err := scn.validate(); err != nil {
+			t.Fatalf("scenario %d invalid: %v\n%s", i, err, scn)
+		}
+		rt, err := ParseStreamScenario(scn.String())
+		if err != nil {
+			t.Fatalf("scenario %d does not round-trip: %v\n%s", i, err, scn)
+		}
+		if rt.String() != scn.String() {
+			t.Fatalf("round-trip changed scenario:\n%s\n%s", scn, rt)
+		}
+		b := GenerateStream(base, i)
+		if b.String() != scn.String() {
+			t.Fatalf("GenerateStream(%d, %d) not deterministic", base, i)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"v1 seed=1",
+		"stream1 seed=1 n=200 s=3 l=4 w=2 m=80 k=3 mode=0 ens=gaussian crash=0@1 dup=1 proxy=4096:8192",  // zero mode
+		"stream1 seed=1 n=200 s=3 l=4 w=2 m=80 k=3 mode=50 ens=gaussian crash=1@1 dup=1 proxy=4096:8192", // crash==dup
+		"stream1 seed=1 n=200 s=3 l=4 w=2 m=80 k=3 mode=50 ens=gaussian crash=0@9 dup=1 proxy=4096:8192", // crash window
+		"stream1 seed=1 n=200 s=3 l=4 w=2 m=80 k=3 mode=50 ens=gaussian crash=0@1 dup=1 proxy=16:32",     // budget < frame
+	} {
+		if _, err := ParseStreamScenario(bad); err == nil {
+			t.Errorf("ParseStreamScenario(%q) accepted invalid line", bad)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package simtest
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"csoutlier/internal/xrand"
+)
+
+// chaosProxy is a seeded TCP connection killer for the push path: it
+// sits between one streaming node and the aggregator and hard-closes
+// each connection after a randomized byte budget, forcing mid-exchange
+// failures — half-written frames, lost acks — that the delta protocol's
+// redial/retry/dedup machinery must absorb. Budgets are drawn from the
+// proxy's own seeded RNG, so a scenario replays with the same kill
+// schedule (for a given exchange sequence).
+//
+// The minimum budget must exceed one full frame round-trip, or a node
+// with a large delta could starve forever: every connection must be
+// able to make progress before it dies.
+type chaosProxy struct {
+	ln     net.Listener
+	target string
+	min    int64 // per-connection byte budget bounds, both directions
+	max    int64
+
+	mu  sync.Mutex // guards rng (accept loop only, but Stop races)
+	rng *xrand.RNG
+
+	kills  int64 // connections killed on budget exhaustion (atomic)
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// startChaosProxy listens on loopback and relays to target.
+func startChaosProxy(target string, seed uint64, min, max int64) (*chaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &chaosProxy{
+		ln: ln, target: target, min: min, max: max,
+		rng:    xrand.New(seed),
+		closed: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.accept()
+	return p, nil
+}
+
+// Addr returns the address nodes should dial instead of the aggregator.
+func (p *chaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// Kills returns how many connections died on an exhausted budget.
+func (p *chaosProxy) Kills() int64 { return atomic.LoadInt64(&p.kills) }
+
+// Stop closes the listener and every live relay.
+func (p *chaosProxy) Stop() {
+	select {
+	case <-p.closed:
+	default:
+		close(p.closed)
+	}
+	p.ln.Close()
+	p.wg.Wait()
+}
+
+func (p *chaosProxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		span := p.max - p.min
+		budget := p.min
+		if span > 0 {
+			budget += int64(p.rng.Intn(int(span + 1)))
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.relay(conn, budget)
+	}
+}
+
+// relay pipes conn <-> target until the shared byte budget (summed over
+// both directions) runs out, either side closes, or the proxy stops.
+func (p *chaosProxy) relay(conn net.Conn, budget int64) {
+	defer p.wg.Done()
+	defer conn.Close()
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	kill := func(exhausted bool) {
+		stopOnce.Do(func() {
+			if exhausted {
+				atomic.AddInt64(&p.kills, 1)
+			}
+			close(stop)
+			conn.Close()
+			up.Close()
+		})
+	}
+	remaining := budget
+	var bmu sync.Mutex
+	pipe := func(dst, src net.Conn) {
+		defer p.wg.Done()
+		buf := make([]byte, 4096)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					kill(false)
+					return
+				}
+				bmu.Lock()
+				remaining -= int64(n)
+				dead := remaining < 0
+				bmu.Unlock()
+				if dead {
+					kill(true)
+					return
+				}
+			}
+			if err != nil {
+				kill(false)
+				return
+			}
+		}
+	}
+	p.wg.Add(2)
+	go pipe(up, conn)
+	go pipe(conn, up)
+	select {
+	case <-stop:
+	case <-p.closed:
+		kill(false)
+	}
+}

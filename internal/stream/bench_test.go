@@ -1,0 +1,105 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"csoutlier"
+)
+
+// BenchmarkStreamFold measures aggregator ingest throughput — delta
+// frames folded per second — with the network stripped away: frames go
+// straight through the idempotency tracker and the window-store fold,
+// exactly the folder goroutine's work. b.SetBytes reports the wire-side
+// delta payload, so ns/op and MB/s both come out of one run.
+func BenchmarkStreamFold(b *testing.B) {
+	for _, m := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			sk := benchSketcher(b, 4096, m)
+			agg, err := NewAggregator(sk, AggregatorOptions{Windows: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer agg.Close(context.Background())
+			payload := benchDelta(b, sk)
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ack := agg.apply(pushRequest{
+					Kind: pushDelta, Node: "bench", Epoch: 1,
+					Window: 1, Seq: uint64(i + 1), Payload: payload,
+				})
+				if !ack.Applied {
+					b.Fatalf("fold %d not applied: %+v", i, ack)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamPushTCP measures end-to-end push throughput over
+// loopback TCP: gob framing, the bounded ingest queue and the folder,
+// one stop-and-wait client.
+func BenchmarkStreamPushTCP(b *testing.B) {
+	sk := benchSketcher(b, 4096, 256)
+	agg, err := NewAggregator(sk, AggregatorOptions{Windows: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agg.Close(context.Background())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go agg.Serve(ln)
+	c, err := DialClient(context.Background(), ln.Addr().String(), 10*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Hello("bench", 1); err != nil {
+		b.Fatal(err)
+	}
+	payload := benchDelta(b, sk)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ack, err := c.PushDelta("bench", 1, 1, uint64(i+1), payload)
+		if err != nil || !ack.Applied {
+			b.Fatalf("push %d: %v / %+v", i, err, ack)
+		}
+	}
+}
+
+func benchSketcher(b *testing.B, n, m int) *csoutlier.Sketcher {
+	b.Helper()
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%05d", i)
+	}
+	sk, err := csoutlier.NewSketcher(keys, csoutlier.Config{M: m, Seed: 99})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}
+
+func benchDelta(b *testing.B, sk *csoutlier.Sketcher) []byte {
+	b.Helper()
+	u := sk.NewUpdater()
+	for i := 0; i < 32; i++ {
+		if err := u.Observe(fmt.Sprintf("key%05d", i*17%sk.N()), float64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload, err := u.Sketch().MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return payload
+}

@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Client is the low-level delta-protocol client: one TCP connection,
+// one strictly serialized request/response exchange at a time, no
+// retries and no state. Node builds the production retry/redial loop
+// on top of it; tests use it directly to inject duplicate, reordered
+// and stale frames the aggregator must tolerate.
+type Client struct {
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
+}
+
+// DialClient connects to an Aggregator's listener. timeout bounds each
+// subsequent exchange (0 = no per-exchange deadline).
+func DialClient(ctx context.Context, addr string, timeout time.Duration) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		timeout: timeout,
+	}, nil
+}
+
+// Hello announces (node, epoch) and returns the aggregator's current
+// window — sent on every connect and as an idle heartbeat.
+func (c *Client) Hello(node string, epoch uint64) (Ack, error) {
+	return c.exchange(&pushRequest{Kind: pushHello, Node: node, Epoch: epoch})
+}
+
+// PushDelta ships one window-tagged sketch delta. payload must be the
+// csoutlier binary sketch codec bytes of the delta. A transport error
+// poisons the connection (the client must be re-dialed); an Ack with a
+// non-empty Err is a frame-level rejection on a healthy connection.
+func (c *Client) PushDelta(node string, epoch, window, seq uint64, payload []byte) (Ack, error) {
+	return c.exchange(&pushRequest{
+		Kind: pushDelta, Node: node, Epoch: epoch,
+		Window: window, Seq: seq, Payload: payload,
+	})
+}
+
+// exchange runs one encode/decode round-trip under the deadline.
+func (c *Client) exchange(req *pushRequest) (Ack, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return Ack{}, fmt.Errorf("stream: send: %w", err)
+	}
+	var ack Ack
+	if err := c.dec.Decode(&ack); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Ack{}, errors.New("stream: aggregator closed connection")
+		}
+		return Ack{}, fmt.Errorf("stream: receive: %w", err)
+	}
+	return ack, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// backoffDelay is exponential backoff with full jitter, mirroring the
+// pull transport's policy (internal/cluster).
+func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}

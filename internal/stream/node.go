@@ -1,0 +1,453 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"csoutlier"
+)
+
+// NodeOptions tunes a streaming node. The zero value gets production
+// defaults and a manual (no background goroutine) flush discipline.
+type NodeOptions struct {
+	// Epoch is the node's incarnation number (default 1). A node that
+	// restarts from scratch MUST announce a strictly higher epoch than
+	// its previous life: the aggregator resets the node's sequence space
+	// on an epoch bump, and rejects frames from older epochs.
+	Epoch uint64
+	// FlushEvery, when positive, runs a background loop that captures
+	// and pushes a delta (or an idle heartbeat, which keeps the node's
+	// window view fresh) on this period. 0 = the caller drives Flush and
+	// Sync explicitly.
+	FlushEvery time.Duration
+	// MaxPending bounds how many captured-but-unacked delta frames may
+	// queue at the node (default 64). When the queue is full, Flush
+	// refuses to capture: observations keep accumulating loss-free in
+	// the O(M) standing sketch, so backpressure costs memory neither
+	// here nor there — the bound only caps frame buffering. Window
+	// rotation may exceed the bound by one frame (the sealed window's
+	// residual must not leak into the next).
+	MaxPending int
+	// DialTimeout bounds each TCP dial attempt (default 5s).
+	DialTimeout time.Duration
+	// PushTimeout bounds each push exchange (default 10s).
+	PushTimeout time.Duration
+	// BaseBackoff/MaxBackoff shape the reconnect backoff (defaults
+	// 25ms / 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (o NodeOptions) withDefaults() NodeOptions {
+	if o.Epoch == 0 {
+		o.Epoch = 1
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 64
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.PushTimeout <= 0 {
+		o.PushTimeout = 10 * time.Second
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 25 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = time.Second
+	}
+	return o
+}
+
+// NodeStats is a snapshot of a streaming node's delta-protocol state.
+type NodeStats struct {
+	Window     uint64 // the node's current window view
+	Seq        uint64 // last captured sequence number
+	Pending    int    // captured frames not yet acknowledged
+	Captured   int64  // delta frames captured from the standing sketch
+	Acked      int64  // frames acknowledged (any status)
+	Applied    int64  // frames the aggregator folded
+	Duplicates int64  // frames the aggregator had already processed
+	Dropped    int64  // frames acknowledged but too old to represent
+	Rejected   int64  // frames the aggregator refused (frame-level error)
+	Redials    int64  // connections re-established
+	Rotations  int64  // window advances adopted from acks
+}
+
+// deltaFrame is one captured, retryable flush.
+type deltaFrame struct {
+	window  uint64
+	seq     uint64
+	payload []byte
+}
+
+// Node is the node-side half of the streaming service: a standing
+// csoutlier.Updater fed by Observe, drained into window-tagged delta
+// frames that are pushed to the Aggregator with stop-and-wait retries.
+// Exactly-once folding comes from the (epoch, seq) tags, not from the
+// transport: a frame is re-sent until acked, and the aggregator ignores
+// redeliveries.
+//
+// Observe/ObserveBatch are safe for concurrent use and never block on
+// the network. Flush, Sync and Close serialize among themselves.
+type Node struct {
+	sk   *csoutlier.Sketcher
+	id   string
+	addr string
+	opts NodeOptions
+	u    *csoutlier.Updater
+
+	mu      sync.Mutex
+	window  uint64
+	seq     uint64
+	pending []*deltaFrame
+	drain   csoutlier.Sketch // reusable drain buffer, guarded by mu
+	stats   NodeStats
+
+	sendMu sync.Mutex // serializes network use: Flush/Sync/background
+	client *Client
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// Dial connects a streaming node to an aggregator, announces itself,
+// and adopts the aggregator's current window. id identifies the node
+// across reconnects and restarts; every node of a deployment must use
+// the same Sketcher consensus as the aggregator.
+func Dial(ctx context.Context, addr string, sk *csoutlier.Sketcher, id string, opts NodeOptions) (*Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("stream: node id must be non-empty")
+	}
+	n := &Node{
+		sk:   sk,
+		id:   id,
+		addr: addr,
+		opts: opts.withDefaults(),
+		u:    sk.NewUpdater(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	n.drain = sk.ZeroSketch()
+	n.sendMu.Lock()
+	_, err := n.connect(ctx)
+	n.sendMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if n.opts.FlushEvery > 0 {
+		go n.loop()
+	} else {
+		close(n.done)
+	}
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() string { return n.id }
+
+// Window returns the node's current window view.
+func (n *Node) Window() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.window
+}
+
+// Stats returns a snapshot of the node's streaming counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.Window = n.window
+	s.Seq = n.seq
+	s.Pending = len(n.pending)
+	return s
+}
+
+// Observe folds one (key, delta) observation into the node's standing
+// sketch for the current window. O(M), no network, no blocking on the
+// pusher.
+func (n *Node) Observe(key string, delta float64) error {
+	return n.u.Observe(key, delta)
+}
+
+// ObserveBatch folds a batch of observations; all-or-nothing on unknown
+// keys.
+func (n *Node) ObserveBatch(pairs map[string]float64) error {
+	return n.u.ObserveBatch(pairs)
+}
+
+// capture drains the standing sketch into a new pending frame tagged
+// with the node's current window. force ignores the MaxPending bound
+// (used for rotation residuals). An empty drain captures nothing.
+func (n *Node) capture(force bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.captureLocked(force)
+}
+
+func (n *Node) captureLocked(force bool) error {
+	if !force && len(n.pending) >= n.opts.MaxPending {
+		return fmt.Errorf("stream: node %s: %d frames pending (limit %d); observations keep accumulating in the standing sketch",
+			n.id, len(n.pending), n.opts.MaxPending)
+	}
+	cnt, err := n.u.DrainInto(n.drain)
+	if err != nil {
+		return err
+	}
+	if cnt == 0 {
+		return nil
+	}
+	payload, err := n.drain.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	n.seq++
+	n.pending = append(n.pending, &deltaFrame{window: n.window, seq: n.seq, payload: payload})
+	n.stats.Captured++
+	return nil
+}
+
+// adoptWindow advances the node's window view to the aggregator's. The
+// sealed window's residual observations are captured first (tagged with
+// the old window), so no observation leaks across the boundary.
+// Observations racing the adoption land on one side or the other —
+// wall-clock skew the window-tagged protocol is explicitly built to
+// absorb.
+func (n *Node) adoptWindow(w uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if w <= n.window {
+		return
+	}
+	n.captureLocked(true) // residual of the sealed window
+	n.window = w
+	n.stats.Rotations++
+}
+
+// head returns the oldest pending frame, or nil.
+func (n *Node) head() *deltaFrame {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.pending) == 0 {
+		return nil
+	}
+	return n.pending[0]
+}
+
+// pop removes the head frame after an ack and accounts its status.
+func (n *Node) pop(ack Ack) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.pending) > 0 {
+		n.pending = n.pending[1:]
+	}
+	n.stats.Acked++
+	switch {
+	case ack.Err != "":
+		n.stats.Rejected++
+	case ack.Applied:
+		n.stats.Applied++
+	case ack.Status == StatusDuplicate:
+		n.stats.Duplicates++
+	case ack.Status == StatusDroppedOld:
+		n.stats.Dropped++
+	}
+}
+
+// connect returns the live client, dialing and re-announcing if needed.
+// Called with sendMu held.
+func (n *Node) connect(ctx context.Context) (*Client, error) {
+	if n.client != nil {
+		return n.client, nil
+	}
+	dctx, cancel := context.WithTimeout(ctx, n.opts.DialTimeout)
+	c, err := DialClient(dctx, n.addr, n.opts.PushTimeout)
+	cancel()
+	if err != nil {
+		return nil, err
+	}
+	ack, err := c.Hello(n.id, n.opts.Epoch)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if ack.Err != "" {
+		c.Close()
+		return nil, fmt.Errorf("stream: node %s rejected: %s", n.id, ack.Err)
+	}
+	n.client = c
+	n.adoptWindow(ack.Window)
+	return c, nil
+}
+
+// disconnect poisons the current connection. Called with sendMu held.
+func (n *Node) disconnect() {
+	if n.client != nil {
+		n.client.Close()
+		n.client = nil
+	}
+}
+
+// push delivers one frame, redialing with backoff until it is acked or
+// ctx expires. Called with sendMu held.
+func (n *Node) push(ctx context.Context, f *deltaFrame) (Ack, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoffDelay(attempt, n.opts.BaseBackoff, n.opts.MaxBackoff)); err != nil {
+				return Ack{}, fmt.Errorf("stream: node %s: %w (last transport error: %v)", n.id, err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return Ack{}, err
+		}
+		c, err := n.connect(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if attempt > 0 {
+			n.mu.Lock()
+			n.stats.Redials++
+			n.mu.Unlock()
+		}
+		ack, err := c.PushDelta(n.id, n.opts.Epoch, f.window, f.seq, f.payload)
+		if err != nil {
+			// Transport failure: the stream may hold a half-written
+			// frame. Poison and retry from a clean dial; the (epoch,
+			// seq) tag makes the redelivery idempotent.
+			n.disconnect()
+			lastErr = err
+			continue
+		}
+		return ack, nil
+	}
+}
+
+// drainPending pushes every queued frame in order. Called with sendMu
+// held.
+func (n *Node) drainPending(ctx context.Context) error {
+	for {
+		f := n.head()
+		if f == nil {
+			return nil
+		}
+		ack, err := n.push(ctx, f)
+		if err != nil {
+			return err
+		}
+		n.pop(ack)
+		// A rotation learned from the ack may capture a residual frame;
+		// the loop drains it in the same pass.
+		n.adoptWindow(ack.Window)
+	}
+}
+
+// Flush captures the observations accumulated since the last capture as
+// one delta frame and pushes every pending frame until acked. It is the
+// node's durability point: when Flush returns nil, everything observed
+// before the call is folded (exactly once) into the aggregator.
+func (n *Node) Flush(ctx context.Context) error {
+	if err := n.capture(false); err != nil {
+		return err
+	}
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	return n.drainPending(ctx)
+}
+
+// Sync runs a hello round-trip — adopting the aggregator's current
+// window — and drains any pending frames (including a rotation residual
+// the hello may seal). Nodes with no traffic use it as a heartbeat so
+// their window view and the aggregator's liveness table stay fresh.
+func (n *Node) Sync(ctx context.Context) error {
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoffDelay(attempt, n.opts.BaseBackoff, n.opts.MaxBackoff)); err != nil {
+				return fmt.Errorf("stream: node %s: %w (last transport error: %v)", n.id, err, lastErr)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c, err := n.connect(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ack, err := c.Hello(n.id, n.opts.Epoch)
+		if err != nil {
+			n.disconnect()
+			lastErr = err
+			continue
+		}
+		if ack.Err != "" {
+			return fmt.Errorf("stream: node %s rejected: %s", n.id, ack.Err)
+		}
+		n.adoptWindow(ack.Window)
+		return n.drainPending(ctx)
+	}
+}
+
+// loop is the background flush/heartbeat driver.
+func (n *Node) loop() {
+	defer close(n.done)
+	t := time.NewTicker(n.opts.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 4*n.opts.PushTimeout)
+		n.capture(false)
+		n.Sync(ctx) // hello (window/liveness) + drain; errors retried next tick
+		cancel()
+	}
+}
+
+// Close flushes a final delta, drains the pending queue, and releases
+// the connection. The ctx bounds the final drain; data still pending
+// when it expires stays unsent (the error reports it).
+func (n *Node) Close(ctx context.Context) error {
+	n.stopBackground()
+	flushErr := n.Flush(ctx)
+	n.sendMu.Lock()
+	n.disconnect()
+	n.sendMu.Unlock()
+	n.mu.Lock()
+	pending := len(n.pending)
+	n.mu.Unlock()
+	if flushErr != nil {
+		return fmt.Errorf("stream: node %s: final flush: %w (%d frames unsent)", n.id, flushErr, pending)
+	}
+	return nil
+}
+
+// Abort drops the connection and every pending frame without flushing —
+// a crash, for tests and for callers abandoning an incarnation. Data
+// not yet acked is lost, exactly as if the process had died; a
+// successor must Dial with a higher epoch.
+func (n *Node) Abort() {
+	n.stopBackground()
+	n.sendMu.Lock()
+	n.disconnect()
+	n.sendMu.Unlock()
+	n.mu.Lock()
+	n.pending = nil
+	n.mu.Unlock()
+}
+
+func (n *Node) stopBackground() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	<-n.done
+}

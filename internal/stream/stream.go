@@ -1,0 +1,134 @@
+// Package stream is the push-based continuous-detection service: the
+// subsystem that turns the batch sketch pipeline into a long-running
+// system serving the paper's production setting, where "a terabyte of
+// new click log data is generated every 10 mins" (§1) and the same
+// substrate runs as a standing sketch store (Impression Store, the
+// paper's reference [41]).
+//
+// Topology and protocol. A Node (one per data center) wraps a standing
+// csoutlier.Updater: observations fold into the O(M) sketch locally,
+// and the node periodically drains the sketch into a *delta* — the
+// exact measurement of everything observed since the previous drain —
+// and pushes it to the Aggregator over a persistent gob/TCP connection.
+// Every delta frame is tagged with (node, epoch, window, seq):
+//
+//   - window is the wall-clock window the observations belong to, as
+//     assigned by the aggregator's rotation clock and learned by nodes
+//     from ack piggybacks — sketch linearity means a window-tagged delta
+//     folds correctly whenever it arrives, so late and out-of-order
+//     frames need no coordination round;
+//   - (epoch, seq) make folding idempotent: the aggregator tracks the
+//     processed sequence numbers of each node incarnation and folds
+//     each delta exactly once, no matter how often retries, reconnects
+//     or duplicated packets redeliver it. A node that restarts from
+//     scratch announces a higher epoch, which resets its sequence space
+//     (and abandons any un-acked data the old incarnation lost).
+//
+// The Aggregator maintains the global per-window standing sketches in a
+// csoutlier.WindowStore, folds incoming deltas through a bounded ingest
+// queue (backpressure propagates to pushers through TCP), rotates
+// windows on a wall clock, tracks per-node liveness and window lag, and
+// answers "outliers over the last W windows" queries from a recovery
+// cache invalidated whenever a delta lands.
+//
+// cmd/csstreamd is the deployable daemon; csnode -push streams a node's
+// slice into it; internal/simtest drives the whole service through
+// chaos TCP against a differential oracle.
+package stream
+
+// The push protocol: one gob-framed request/response exchange per
+// frame, node-initiated (the reverse of internal/cluster's pull
+// protocol, whose aggregator is the client). Two request kinds:
+//
+//	hello  — announce (node, epoch), learn the current window; sent on
+//	         every (re)connect and as an idle heartbeat.
+//	delta  — push one window-tagged sketch delta; the payload is the
+//	         csoutlier binary sketch codec, so the full consensus
+//	         identity (M, N, seed, ensemble) travels with every delta
+//	         and a mismatched node is rejected before it can corrupt
+//	         the aggregate.
+type pushKind uint8
+
+const (
+	pushHello pushKind = iota + 1
+	pushDelta
+)
+
+// pushRequest is the node→aggregator wire frame.
+type pushRequest struct {
+	Kind    pushKind
+	Node    string
+	Epoch   uint64
+	Window  uint64 // delta only: window ID the observations belong to
+	Seq     uint64 // delta only: per-(node, epoch) sequence number, from 1
+	Payload []byte // delta only: csoutlier.Sketch binary codec bytes
+}
+
+// Statuses an Ack can carry for a processed delta.
+const (
+	// StatusApplied: the delta was folded into its window.
+	StatusApplied = "applied"
+	// StatusDuplicate: this (epoch, seq) was already processed; the
+	// delta was ignored. The normal outcome of a retry whose original
+	// ack was lost.
+	StatusDuplicate = "duplicate"
+	// StatusDroppedOld: the delta's window has already been evicted from
+	// the ring; the data is acknowledged (so the node moves on) but no
+	// longer representable.
+	StatusDroppedOld = "dropped-old"
+	// StatusHello: the ack answers a hello, not a delta.
+	StatusHello = "hello"
+)
+
+// Ack is the aggregator's reply to one push frame.
+type Ack struct {
+	// Err is a frame-level rejection (stale epoch, corrupt payload,
+	// future window). The frame was not applied and must not be
+	// retried as-is.
+	Err string
+	// Window is the aggregator's current window ID — the rotation
+	// broadcast. Nodes adopt it: observations after the ack land in the
+	// new window.
+	Window uint64
+	// Applied reports whether a delta was folded into a window.
+	Applied bool
+	// Status is one of the Status* constants.
+	Status string
+}
+
+// seqTracker records which delta sequence numbers of one node epoch
+// have been processed, making folds idempotent under duplicate and
+// out-of-order delivery. It keeps a contiguous low-water mark plus the
+// sparse set of sequence numbers processed ahead of it, so memory stays
+// O(reordering window), not O(stream length).
+type seqTracker struct {
+	base  uint64 // every seq in [1, base] has been processed
+	ahead map[uint64]struct{}
+}
+
+// seen reports whether seq has already been processed.
+func (t *seqTracker) seen(seq uint64) bool {
+	if seq <= t.base {
+		return true
+	}
+	_, ok := t.ahead[seq]
+	return ok
+}
+
+// mark records seq as processed and advances the contiguous mark.
+func (t *seqTracker) mark(seq uint64) {
+	if seq <= t.base {
+		return
+	}
+	if t.ahead == nil {
+		t.ahead = make(map[uint64]struct{})
+	}
+	t.ahead[seq] = struct{}{}
+	for {
+		if _, ok := t.ahead[t.base+1]; !ok {
+			return
+		}
+		t.base++
+		delete(t.ahead, t.base)
+	}
+}

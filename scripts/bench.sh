@@ -43,6 +43,8 @@ echo "== kernels: internal/sensing (benchtime=$BENCHTIME count=$COUNT) =="
 go test -run - -bench 'BenchmarkKernel' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/sensing/ | tee -a "$raw"
 echo "== end-to-end: internal/recovery =="
 go test -run - -bench 'BenchmarkRecovery' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/recovery/ | tee -a "$raw"
+echo "== streaming ingest: internal/stream =="
+go test -run - -bench 'BenchmarkStream' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/stream/ | tee -a "$raw"
 
 if [ -n "$label" ]; then
 	go run ./cmd/benchjson parse -label "$label" < "$raw" > "$cur"
@@ -51,9 +53,14 @@ else
 fi
 
 if [ -n "$base" ]; then
-	go run ./cmd/benchjson merge "$base" "$cur" > "$out"
+	# Merge through a temp file: with -base BENCH.json and the default
+	# output, redirecting straight onto $out would truncate the baseline
+	# before merge ever read it.
+	merged=$(mktemp)
+	go run ./cmd/benchjson merge "$base" "$cur" > "$merged"
 	echo
 	go run ./cmd/benchjson compare "$base" "$cur"
+	mv "$merged" "$out"
 else
 	cp "$cur" "$out"
 fi

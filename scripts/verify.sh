@@ -6,10 +6,14 @@
 #   scripts/verify.sh -bench   # tier-1 + 1-iteration benchmark smoke
 #
 # Tier-1 (build, vet, full test suite) is the floor every change must
-# clear; the race pass covers the concurrency-heavy transport/collector
-# AND the column-parallel sensing/recovery kernels; the simulation smoke
-# runs randomized end-to-end scenarios against the exact oracle (see
-# internal/simtest). Raise -sim.count for soak runs. The -bench mode
+# clear; the race pass covers the concurrency-heavy transport/collector,
+# the streaming push service (internal/stream), AND the column-parallel
+# sensing/recovery kernels; the simulation smoke runs randomized
+# end-to-end scenarios against the exact oracle (see internal/simtest),
+# then the streaming soak drives the push pipeline through chaos TCP
+# proxies (connection kills, a node crash/restart, duplicate deltas)
+# and checks every window bit-identically against the centralized
+# oracle. Raise -sim.count / -sim.streamcount for soak runs. The -bench mode
 # compiles and runs every benchmark exactly once — it catches bit-rotted
 # benchmark code without paying for a real measurement (use
 # scripts/bench.sh for that).
@@ -38,5 +42,8 @@ go test -race ./...
 
 echo "== simulation smoke: randomized end-to-end scenarios =="
 go test ./internal/simtest -run 'TestSim$' -sim.count=50
+
+echo "== streaming soak: chaos-TCP push pipeline vs per-window oracle =="
+go test ./internal/simtest -run 'TestStreamSoak$' -sim.streamcount=25
 
 echo "verify: OK"

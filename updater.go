@@ -13,13 +13,14 @@ import (
 // observation folds one measurement column into the sketch in O(M)
 // time and O(M) total memory; the slice itself is never stored.
 //
-// An Updater is safe for concurrent use.
+// An Updater is safe for concurrent use. The O(M) column generation of
+// each observation happens outside the mutex on pooled scratch, so
+// concurrent writers only contend for the O(M) accumulate.
 type Updater struct {
 	sk *Sketcher
 
 	mu      sync.Mutex
 	y       linalg.Vector
-	col     linalg.Vector // scratch column
 	updates int64
 }
 
@@ -27,9 +28,8 @@ type Updater struct {
 // consensus parameters.
 func (s *Sketcher) NewUpdater() *Updater {
 	return &Updater{
-		sk:  s,
-		y:   make(linalg.Vector, s.params.M),
-		col: make(linalg.Vector, s.params.M),
+		sk: s,
+		y:  make(linalg.Vector, s.params.M),
 	}
 }
 
@@ -44,11 +44,13 @@ func (u *Updater) Observe(key string, delta float64) error {
 	if delta == 0 {
 		return nil
 	}
+	col := u.sk.getCol()
+	*col = u.sk.matrix.Col(idx, *col) // O(M) PRNG work, outside the mutex
 	u.mu.Lock()
-	defer u.mu.Unlock()
-	u.col = u.sk.matrix.Col(idx, u.col)
-	u.y.AddScaled(delta, u.col)
+	u.y.AddScaled(delta, *col)
 	u.updates++
+	u.mu.Unlock()
+	u.sk.putCol(col)
 	return nil
 }
 
@@ -68,13 +70,15 @@ func (u *Updater) ObserveBatch(pairs map[string]float64) error {
 		idx = append(idx, i)
 		vals = append(vals, v)
 	}
+	// Measure the whole batch outside the mutex (MeasureSparse zeroes its
+	// destination), then accumulate under it.
+	col := u.sk.getCol()
+	*col = u.sk.matrix.MeasureSparse(idx, vals, *col)
 	u.mu.Lock()
-	defer u.mu.Unlock()
-	// MeasureSparse zeroes its destination, so measure into the scratch
-	// column and accumulate.
-	u.col = u.sk.matrix.MeasureSparse(idx, vals, u.col)
-	u.y.Add(u.col)
+	u.y.Add(*col)
 	u.updates += int64(len(idx))
+	u.mu.Unlock()
+	u.sk.putCol(col)
 	return nil
 }
 
@@ -87,11 +91,45 @@ func (u *Updater) Updates() int64 {
 
 // Sketch returns a snapshot of the standing sketch, ready to ship.
 func (u *Updater) Sketch() Sketch {
-	u.mu.Lock()
-	defer u.mu.Unlock()
 	out := u.sk.emptySketch()
+	u.mu.Lock()
 	copy(out.Y, u.y)
+	u.mu.Unlock()
 	return out
+}
+
+// SketchInto snapshots the standing sketch into a caller-provided
+// sketch, so a hot aggregation path can reread a standing sketch with
+// zero allocation. dst must come from the same Sketcher consensus.
+func (u *Updater) SketchInto(dst Sketch) error {
+	if err := dst.compatible(u.sk.sketchID()); err != nil {
+		return err
+	}
+	u.mu.Lock()
+	copy(dst.Y, u.y)
+	u.mu.Unlock()
+	return nil
+}
+
+// DrainInto atomically snapshots the standing sketch into dst and
+// resets the updater, returning how many observations were drained.
+// The copy and the reset happen under one critical section, so no
+// concurrent Observe can land between them and be lost — the property
+// the streaming delta protocol (internal/stream) relies on: successive
+// drains partition the observation stream exactly.
+func (u *Updater) DrainInto(dst Sketch) (int64, error) {
+	if err := dst.compatible(u.sk.sketchID()); err != nil {
+		return 0, err
+	}
+	u.mu.Lock()
+	copy(dst.Y, u.y)
+	for i := range u.y {
+		u.y[i] = 0
+	}
+	n := u.updates
+	u.updates = 0
+	u.mu.Unlock()
+	return n, nil
 }
 
 // Reset clears the standing sketch (e.g. at a window boundary).

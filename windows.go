@@ -15,6 +15,9 @@ import (
 // can be queried by summing their sketches (linearity again), so
 // "outliers over the last hour" and "outliers today" come from the same
 // O(windows·M) state with no raw data retained.
+//
+// A WindowStore is safe for concurrent use; like Updater, the O(M)
+// column generation of each observation runs outside the mutex.
 type WindowStore struct {
 	sk *Sketcher
 
@@ -22,7 +25,6 @@ type WindowStore struct {
 	ring    []linalg.Vector // ring[i] = sketch of window i
 	head    int             // index of the current window
 	filled  int             // number of windows that have ever been open
-	col     linalg.Vector   // scratch
 	rotated int64
 }
 
@@ -35,7 +37,6 @@ func (s *Sketcher) NewWindowStore(windows int) (*WindowStore, error) {
 	w := &WindowStore{
 		sk:   s,
 		ring: make([]linalg.Vector, windows),
-		col:  make(linalg.Vector, s.params.M),
 	}
 	for i := range w.ring {
 		w.ring[i] = make(linalg.Vector, s.params.M)
@@ -63,10 +64,12 @@ func (w *WindowStore) Observe(key string, delta float64) error {
 	if delta == 0 {
 		return nil
 	}
+	col := w.sk.getCol()
+	*col = w.sk.matrix.Col(idx, *col) // O(M) PRNG work, outside the mutex
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.col = w.sk.matrix.Col(idx, w.col)
-	w.ring[w.head].AddScaled(delta, w.col)
+	w.ring[w.head].AddScaled(delta, *col)
+	w.mu.Unlock()
+	w.sk.putCol(col)
 	return nil
 }
 
@@ -86,10 +89,31 @@ func (w *WindowStore) ObserveBatch(pairs map[string]float64) error {
 		idx = append(idx, i)
 		vals = append(vals, v)
 	}
+	col := w.sk.getCol()
+	*col = w.sk.matrix.MeasureSparse(idx, vals, *col)
+	w.mu.Lock()
+	w.ring[w.head].Add(*col)
+	w.mu.Unlock()
+	w.sk.putCol(col)
+	return nil
+}
+
+// AddSketch folds an already-measured sketch (e.g. a delta shipped by a
+// remote streaming node) into the window `age` rotations ago. Sketch
+// linearity makes this exactly equivalent to having observed the
+// underlying data in that window — it is how the streaming aggregator
+// (internal/stream) lands window-tagged deltas that arrive late or out
+// of order, with no coordination round.
+func (w *WindowStore) AddSketch(age int, o Sketch) error {
+	if err := o.compatible(w.sk.sketchID()); err != nil {
+		return err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.col = w.sk.matrix.MeasureSparse(idx, vals, w.col)
-	w.ring[w.head].Add(w.col)
+	if err := w.checkAge(age); err != nil {
+		return err
+	}
+	w.ring[w.slot(age)].Add(linalg.Vector(o.Y))
 	return nil
 }
 
@@ -119,14 +143,25 @@ func (w *WindowStore) Available() int {
 // Window returns a copy of the sketch of the window `age` rotations ago
 // (0 = the currently open window).
 func (w *WindowStore) Window(age int) (Sketch, error) {
+	out := w.sk.emptySketch()
+	if err := w.WindowInto(age, out); err != nil {
+		return Sketch{}, err
+	}
+	return out, nil
+}
+
+// WindowInto is Window into a caller-provided sketch (zero allocation).
+func (w *WindowStore) WindowInto(age int, dst Sketch) error {
+	if err := dst.compatible(w.sk.sketchID()); err != nil {
+		return err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.checkAge(age); err != nil {
-		return Sketch{}, err
+		return err
 	}
-	out := w.sk.emptySketch()
-	copy(out.Y, w.ring[w.slot(age)])
-	return out, nil
+	copy(dst.Y, w.ring[w.slot(age)])
+	return nil
 }
 
 // Range returns the summed sketch over window ages [fromAge, toAge]
@@ -134,22 +169,38 @@ func (w *WindowStore) Window(age int) (Sketch, error) {
 // The sum of window sketches is exactly the sketch of the concatenated
 // data — no accuracy is lost by querying wider spans.
 func (w *WindowStore) Range(fromAge, toAge int) (Sketch, error) {
+	out := w.sk.emptySketch()
+	if err := w.RangeInto(fromAge, toAge, out); err != nil {
+		return Sketch{}, err
+	}
+	return out, nil
+}
+
+// RangeInto is Range into a caller-provided sketch, so a standing query
+// re-run on every refresh (the streaming aggregator's hot path) pays no
+// allocation. dst is overwritten, not accumulated into.
+func (w *WindowStore) RangeInto(fromAge, toAge int, dst Sketch) error {
+	if err := dst.compatible(w.sk.sketchID()); err != nil {
+		return err
+	}
 	if fromAge > toAge {
-		return Sketch{}, fmt.Errorf("csoutlier: window range [%d, %d] inverted", fromAge, toAge)
+		return fmt.Errorf("csoutlier: window range [%d, %d] inverted", fromAge, toAge)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.checkAge(fromAge); err != nil {
-		return Sketch{}, err
+		return err
 	}
 	if err := w.checkAge(toAge); err != nil {
-		return Sketch{}, err
+		return err
 	}
-	out := w.sk.emptySketch()
+	for i := range dst.Y {
+		dst.Y[i] = 0
+	}
 	for age := fromAge; age <= toAge; age++ {
-		linalg.Vector(out.Y).Add(w.ring[w.slot(age)])
+		linalg.Vector(dst.Y).Add(w.ring[w.slot(age)])
 	}
-	return out, nil
+	return nil
 }
 
 func (w *WindowStore) checkAge(age int) error {
