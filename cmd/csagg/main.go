@@ -24,6 +24,7 @@ import (
 	"csoutlier/internal/baseline"
 	"csoutlier/internal/cluster"
 	"csoutlier/internal/keydict"
+	"csoutlier/internal/obs"
 	"csoutlier/internal/queries"
 	"csoutlier/internal/recovery"
 	"csoutlier/internal/sensing"
@@ -47,6 +48,8 @@ func main() {
 		health    = flag.Bool("health", false, "print per-node transport health (attempts, retries, timeouts, RTT, bytes)")
 		ensemble  = flag.String("ensemble", "gaussian", "measurement ensemble: gaussian, sparse or srht")
 		sparseD   = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address for the run's duration (empty = off)")
 	)
 	flag.Parse()
 	if *nodesFlag == "" || *dictPath == "" || *m <= 0 {
@@ -97,6 +100,18 @@ func main() {
 		log.Fatalf("csagg: only %d/%d nodes reachable (need %d)", len(nodes), len(addrs), *minNodes)
 	}
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		cluster.RegisterHealthMetrics(reg, remotes...)
+		mln, err := obs.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("csagg: metrics: %v", err)
+		}
+		defer mln.Close()
+		log.Printf("csagg metrics on http://%s/metrics", mln.Addr())
+	}
+
 	kind, err := sensing.ParseKind(*ensemble)
 	if err != nil {
 		log.Fatalf("csagg: %v", err)
@@ -119,6 +134,7 @@ func main() {
 			MinNodes:    *minNodes,
 			MaxAttempts: *attempts,
 			NodeTimeout: *nodeTO,
+			Metrics:     reg,
 		})
 		if err != nil {
 			log.Fatalf("csagg: collect: %v", err)

@@ -45,6 +45,7 @@ import (
 	"csoutlier/internal/cluster"
 	"csoutlier/internal/keydict"
 	"csoutlier/internal/linalg"
+	"csoutlier/internal/obs"
 	"csoutlier/internal/stream"
 )
 
@@ -66,6 +67,8 @@ func main() {
 		ensemble  = flag.String("ensemble", "gaussian", "measurement ensemble for -push mode: gaussian, sparse or srht")
 		sparseD   = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
 		epoch     = flag.Uint64("epoch", 1, "incarnation number for -push mode; bump after a restart so the daemon resets this node's sequence space")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address (empty = off)")
 	)
 	flag.Parse()
 	if *dictPath == "" || *dataPath == "" {
@@ -91,6 +94,17 @@ func main() {
 	}
 	node := cluster.NewLocalNode(*name, x)
 
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		mln, err := obs.Serve(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatalf("csnode: metrics: %v", err)
+		}
+		defer mln.Close()
+		log.Printf("csnode metrics on http://%s/metrics", mln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("csnode: listen: %v", err)
@@ -111,7 +125,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("csnode: %v", err)
 		}
-		go pushSlice(sk, dict, x, *push, *name, *epoch, *pushEvery, *pushChunk)
+		go pushSlice(sk, dict, x, *push, *name, *epoch, *pushEvery, *pushChunk, reg)
 	}
 	if err := cluster.ServeWith(ln, node, cluster.ServeOptions{
 		IdleTimeout:    *idleTO,
@@ -127,7 +141,7 @@ func main() {
 // and this node's window view stay fresh. Runs alongside the pull API:
 // the same slice is available both ways.
 func pushSlice(sk *csoutlier.Sketcher, dict *keydict.Dictionary, x linalg.Vector,
-	addr, name string, epoch uint64, pushEvery time.Duration, pushChunk int) {
+	addr, name string, epoch uint64, pushEvery time.Duration, pushChunk int, reg *obs.Registry) {
 	if pushChunk <= 0 {
 		pushChunk = 256
 	}
@@ -136,6 +150,9 @@ func pushSlice(sk *csoutlier.Sketcher, dict *keydict.Dictionary, x linalg.Vector
 	if err != nil {
 		log.Printf("csnode: push: %v (streaming disabled, pull API unaffected)", err)
 		return
+	}
+	if reg != nil {
+		n.RegisterMetrics(reg)
 	}
 	log.Printf("csnode: pushing to %s as %q (epoch %d, window %d)", addr, name, epoch, n.Window())
 	inChunk := 0

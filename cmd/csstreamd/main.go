@@ -29,6 +29,7 @@ import (
 
 	"csoutlier"
 	"csoutlier/internal/keydict"
+	"csoutlier/internal/obs"
 	"csoutlier/internal/stream"
 )
 
@@ -47,6 +48,7 @@ func main() {
 		span        = flag.Int("span", 0, "report outliers over the last span windows (0 = all available)")
 		reportEvery = flag.Duration("report-every", time.Minute, "how often to print the outlier/liveness report (0 = only on shutdown)")
 		idleTO      = flag.Duration("idle-timeout", 5*time.Minute, "drop node connections silent for this long (0 = never)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address (empty = off)")
 	)
 	flag.Parse()
 	if *dictPath == "" || *m <= 0 {
@@ -74,14 +76,25 @@ func main() {
 		log.Fatalf("csstreamd: %v", err)
 	}
 
+	reg := obs.NewRegistry()
+	sk.Instrument(reg)
 	agg, err := stream.NewAggregator(sk, stream.AggregatorOptions{
 		Windows:     *windows,
 		WindowEvery: *windowEvery,
 		QueueDepth:  *queue,
 		IdleTimeout: *idleTO,
+		Metrics:     reg,
 	})
 	if err != nil {
 		log.Fatalf("csstreamd: %v", err)
+	}
+	if *metricsAddr != "" {
+		mln, err := obs.Serve(*metricsAddr, reg, agg.Ready)
+		if err != nil {
+			log.Fatalf("csstreamd: metrics: %v", err)
+		}
+		defer mln.Close()
+		log.Printf("csstreamd metrics on http://%s/metrics", mln.Addr())
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

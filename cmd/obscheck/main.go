@@ -1,0 +1,105 @@
+// Command obscheck fetches a Prometheus text exposition over HTTP,
+// validates it against the format (internal/obs.Lint), and optionally
+// requires named metric families to be present. scripts/verify.sh uses
+// it to smoke-test a live csstreamd's /metrics without external tooling.
+//
+// Usage:
+//
+//	obscheck -url http://127.0.0.1:9090/metrics \
+//	         -require stream_fold_seconds,stream_frames_total
+//
+// Exit status 0 means the endpoint answered 200 with well-formed
+// exposition containing every required family.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"csoutlier/internal/obs"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "exposition endpoint to fetch")
+		require = flag.String("require", "", "comma-separated metric family names that must be present")
+		timeout = flag.Duration("timeout", 5*time.Second, "HTTP fetch deadline")
+		health  = flag.Bool("health", false, "treat the endpoint as /healthz: require 200 and body \"ok\", skip the exposition lint")
+		quiet   = flag.Bool("q", false, "print nothing on success")
+	)
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: -url is required")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(*url)
+	if err != nil {
+		fatal("fetch: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal("%s: status %s", *url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal("read: %v", err)
+	}
+	text := string(body)
+	if *health {
+		if !strings.Contains(text, "ok") {
+			fatal("%s: body %q, want ok", *url, text)
+		}
+		if !*quiet {
+			fmt.Printf("obscheck: %s ok\n", *url)
+		}
+		return
+	}
+	if err := obs.LintString(text); err != nil {
+		fatal("malformed exposition: %v", err)
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		// A family is present when a sample line starts with its name:
+		// bare, labeled, or a histogram sub-series.
+		if !hasFamily(text, name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fatal("missing families: %s", strings.Join(missing, ", "))
+	}
+	if !*quiet {
+		fmt.Printf("obscheck: %s ok (%d bytes)\n", *url, len(body))
+	}
+}
+
+func hasFamily(text, name string) bool {
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			metric = line[:i]
+		}
+		if metric == name || strings.HasPrefix(metric, name+"_") {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	os.Exit(1)
+}

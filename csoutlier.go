@@ -35,9 +35,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"csoutlier/internal/keydict"
 	"csoutlier/internal/linalg"
+	"csoutlier/internal/obs"
 	"csoutlier/internal/outlier"
 	"csoutlier/internal/recovery"
 	"csoutlier/internal/sensing"
@@ -95,6 +98,11 @@ type Report struct {
 	Mode float64
 	// Iterations is the number of recovery iterations spent.
 	Iterations int
+	// Residual is the final recovery residual norm ‖y − Φ·x̂‖₂ — the
+	// measurement energy the recovered support does not explain. A
+	// persistently high residual on a standing query means the data is
+	// less sparse than the measurement budget assumes.
+	Residual float64
 }
 
 // Sketch is a compressed representation of a node's key→value slice.
@@ -174,6 +182,43 @@ type Sketcher struct {
 	// a pooled buffer outside the ingest mutexes is what lets concurrent
 	// writers scale instead of serializing on the critical section.
 	colPool sync.Pool
+
+	// metrics, when installed by Instrument, observes every Detect call.
+	// Loaded atomically so instrumented and uninstrumented Sketchers pay
+	// the same lock-free read on the recovery path.
+	metrics atomic.Pointer[detectMetrics]
+}
+
+// detectMetrics is the recovery path's observability: BOMP wall time,
+// iterations spent, and the residual energy left unexplained.
+type detectMetrics struct {
+	seconds    *obs.Histogram
+	iterations *obs.Histogram
+	residual   *obs.Gauge
+	detects    *obs.Counter
+}
+
+// Instrument registers the recovery path's metrics in reg and starts
+// observing every subsequent Detect call:
+//
+//	recovery_detect_seconds      — BOMP wall time per k-outlier query
+//	recovery_detect_iterations   — greedy columns selected per query
+//	recovery_residual_norm       — last query's final ‖y − Φ·x̂‖₂
+//	recovery_detects_total       — queries answered by BOMP
+//
+// Call it once at daemon startup with the registry served at
+// -metrics-addr; it is safe (but pointless) to call more than once.
+func (s *Sketcher) Instrument(reg *obs.Registry) {
+	s.metrics.Store(&detectMetrics{
+		seconds: reg.Histogram("recovery_detect_seconds",
+			"BOMP recovery wall time per outlier query, in seconds", obs.LatencyBuckets()),
+		iterations: reg.Histogram("recovery_detect_iterations",
+			"greedy recovery iterations (columns selected) per outlier query", obs.ExpBuckets(1, 2, 12)),
+		residual: reg.Gauge("recovery_residual_norm",
+			"final recovery residual norm of the most recent outlier query"),
+		detects: reg.Counter("recovery_detects_total",
+			"outlier queries answered by BOMP recovery"),
+	})
 }
 
 // denseLimit caps M·N for materializing the measurement matrix.
@@ -334,10 +379,21 @@ func (s *Sketcher) Detect(global Sketch, k int) (*Report, error) {
 	if iters == 0 {
 		iters = recovery.IterationBudget(k)
 	}
+	var start time.Time
+	m := s.metrics.Load()
+	if m != nil {
+		start = time.Now()
+	}
 	ws := s.workspace()
 	res, err := ws.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: iters})
 	if err != nil {
 		return nil, err
+	}
+	if m != nil {
+		m.seconds.Observe(time.Since(start).Seconds())
+		m.iterations.Observe(float64(res.Iterations))
+		m.residual.Set(res.Residual)
+		m.detects.Inc()
 	}
 	// res aliases ws's buffers: copy everything the Report needs before
 	// returning the workspace to the pool.
@@ -346,7 +402,7 @@ func (s *Sketcher) Detect(global Sketch, k int) (*Report, error) {
 		cands[i] = outlier.KV{Index: j, Value: res.X[j]}
 	}
 	top := outlier.TopKOf(cands, res.Mode, k)
-	rep := &Report{Mode: res.Mode, Iterations: res.Iterations}
+	rep := &Report{Mode: res.Mode, Iterations: res.Iterations, Residual: res.Residual}
 	for _, kv := range top {
 		rep.Outliers = append(rep.Outliers, Outlier{Key: s.dict.Key(kv.Index), Value: kv.Value})
 	}

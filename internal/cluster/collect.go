@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"csoutlier/internal/linalg"
+	"csoutlier/internal/obs"
 	"csoutlier/internal/outlier"
 	"csoutlier/internal/sensing"
 )
@@ -41,6 +42,10 @@ type CollectOptions struct {
 	// grace elapses, in-flight requests are cancelled and the quorum
 	// aggregate is returned. 0 waits for all nodes or the overall ctx.
 	QuorumGrace time.Duration
+	// Metrics, when non-nil, receives the collection's attempt/retry/
+	// timeout/byte counters and per-node RTT observations (cluster_*
+	// families). nil = no instrumentation.
+	Metrics *obs.Registry
 }
 
 // NodeStats reports one node's behaviour during a collection.
@@ -213,6 +218,9 @@ loop:
 		record(r)
 	}
 
+	if opts.Metrics != nil {
+		recordCollect(opts.Metrics, res, len(res.Included) >= min)
+	}
 	if len(res.Included) < min {
 		if timedOut {
 			return nil, fmt.Errorf("cluster: context done with %d/%d responses (need %d): %w",

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"csoutlier/internal/obs"
+)
+
+// recordCollect folds one collection's CommStats and per-node RTTs into
+// the cluster_* metric families of reg. Family resolution is
+// get-or-create, so repeated collections against the same registry
+// accumulate. Runs once per collection, off every hot path.
+func recordCollect(reg *obs.Registry, res *PartialResult, ok bool) {
+	reg.Counter("cluster_attempts_total",
+		"sketch RPCs attempted, including retries").Add(int64(res.Stats.Attempts))
+	reg.Counter("cluster_retries_total",
+		"sketch attempts beyond each node's first").Add(int64(res.Stats.Retries))
+	reg.Counter("cluster_timeouts_total",
+		"sketch attempts that died on a deadline").Add(int64(res.Stats.Timeouts))
+	reg.Counter("cluster_bytes_total",
+		"sketch payload bytes received (paper constants)").Add(res.Stats.Bytes)
+	reg.Counter("cluster_messages_total",
+		"sketch payloads received").Add(int64(res.Stats.Messages))
+	outcome := "ok"
+	if !ok {
+		outcome = "failed"
+	}
+	reg.CounterVec("cluster_collects_total",
+		"collections by outcome (ok = quorum reached)", "outcome").With(outcome).Inc()
+	rtt := reg.HistogramVec("cluster_node_rtt_seconds",
+		"per-node sketch round-trip time, last attempt of each collection",
+		obs.LatencyBuckets(), "node")
+	for id, ns := range res.Nodes {
+		if ns.Attempts > 0 {
+			rtt.With(id).Observe(ns.RTT.Seconds())
+		}
+	}
+}
+
+// RegisterHealthMetrics exports a set of RemoteNodes' transport health
+// (NodeHealth) as labeled gauges in reg, refreshed at scrape time — the
+// pull path's counterpart of the streaming aggregator's per-node
+// liveness gauges.
+func RegisterHealthMetrics(reg *obs.Registry, nodes ...*RemoteNode) {
+	attempts := reg.GaugeVec("cluster_node_attempts", "round-trips started, including retries", "node")
+	retries := reg.GaugeVec("cluster_node_retries", "round-trips beyond a request's first attempt", "node")
+	timeouts := reg.GaugeVec("cluster_node_timeouts", "attempts that died on a deadline", "node")
+	redials := reg.GaugeVec("cluster_node_redials", "connections re-established after a poisoned one", "node")
+	failures := reg.GaugeVec("cluster_node_failures", "requests that exhausted retries", "node")
+	read := reg.GaugeVec("cluster_node_bytes_read", "raw wire bytes received", "node")
+	written := reg.GaugeVec("cluster_node_bytes_written", "raw wire bytes sent", "node")
+	lastRTT := reg.GaugeVec("cluster_node_last_rtt_seconds", "most recent completed exchange", "node")
+	avgRTT := reg.GaugeVec("cluster_node_avg_rtt_seconds", "mean over completed exchanges", "node")
+	reg.OnScrape(func() {
+		for _, n := range nodes {
+			h := n.Health()
+			id := n.ID()
+			attempts.With(id).SetInt(int64(h.Attempts))
+			retries.With(id).SetInt(int64(h.Retries))
+			timeouts.With(id).SetInt(int64(h.Timeouts))
+			redials.With(id).SetInt(int64(h.Redials))
+			failures.With(id).SetInt(int64(h.Failures))
+			read.With(id).SetInt(h.BytesRead)
+			written.With(id).SetInt(h.BytesWritten)
+			lastRTT.With(id).Set(h.LastRTT.Seconds())
+			avgRTT.With(id).Set(h.AvgRTT.Seconds())
+		}
+	})
+}

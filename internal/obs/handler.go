@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the observability HTTP surface for a registry:
+//
+//	/metrics       — Prometheus text exposition of reg
+//	/healthz       — 200 "ok" when ready() returns nil, 503 otherwise
+//	/debug/pprof/  — net/http/pprof (index, cmdline, profile, symbol, trace)
+//
+// ready may be nil, in which case the process is always ready. The
+// handler is what every daemon mounts behind its -metrics-addr flag.
+func Handler(reg *Registry, ready func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone already; nothing to do but drop the conn.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "endpoints:\n  /metrics\n  /healthz\n  /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve mounts Handler(reg, ready) on addr in a background goroutine
+// and returns the live listener (so callers learn the bound port when
+// addr ends in ":0" and can Close it to stop serving). Connection
+// read/write get generous timeouts: this surface serves scrapers and
+// humans, not bulk traffic.
+func Serve(addr string, reg *Registry, ready func() error) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           Handler(reg, ready),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go srv.Serve(ln) // returns when ln closes; nothing to report then
+	return ln, nil
+}

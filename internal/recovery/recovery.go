@@ -100,6 +100,11 @@ type Result struct {
 	Coef []float64
 	// Iterations is the number of columns actually selected.
 	Iterations int
+	// Residual is the final residual norm ‖r‖₂ = ‖y − Φ·x̂‖₂ — the
+	// unexplained measurement energy, ‖y‖₂ when nothing was selected.
+	// Cheap to report (the greedy loop maintains it for its stopping
+	// rules) and the natural recovery-quality gauge for monitoring.
+	Residual float64
 	// StoppedEarly reports that the §5 residual-stall cutoff fired.
 	StoppedEarly bool
 	// ModeTrace, when requested, holds the mode estimate after each
@@ -207,6 +212,7 @@ func (d *biasedDict) correlate(r, dst linalg.Vector) linalg.Vector {
 
 type diagnostics struct {
 	stalled       bool
+	residual      float64 // final ‖r‖₂ (‖y‖₂ when nothing was selected)
 	modeTrace     []float64
 	residualTrace []float64
 }

@@ -66,6 +66,7 @@ func (ws *Workspace) BOMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Resu
 	res := &ws.res
 	*res = Result{
 		Iterations:    len(sel),
+		Residual:      diag.residual,
 		StoppedEarly:  diag.stalled,
 		ModeTrace:     diag.modeTrace,
 		ResidualTrace: diag.residualTrace,
@@ -106,6 +107,7 @@ func (ws *Workspace) OMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Resul
 		Support:       sel,
 		Coef:          coef,
 		Iterations:    len(sel),
+		Residual:      diag.residual,
 		StoppedEarly:  diag.stalled,
 		ResidualTrace: diag.residualTrace,
 	}
@@ -171,6 +173,7 @@ func (ws *Workspace) greedy(d dictionary, y linalg.Vector, m int, opt Options,
 	ws.residual = ensureVec(ws.residual, m)
 	copy(ws.residual, y)
 	prevNorm := yNorm
+	diag.residual = yNorm // final norm if nothing gets selected
 
 	for len(ws.selected) < maxIter {
 		ws.corr = d.correlate(ws.residual, ws.corr)
@@ -205,6 +208,7 @@ func (ws *Workspace) greedy(d dictionary, y linalg.Vector, m int, opt Options,
 
 		ws.residual = qr.Residual(ws.residual)
 		norm := qr.ResidualNorm()
+		diag.residual = norm
 		if opt.TraceResidual {
 			diag.residualTrace = append(diag.residualTrace, norm)
 		}

@@ -341,18 +341,21 @@ func RunStream(scn StreamScenario, data *StreamData) (*StreamResult, error) {
 		proxies[l] = p
 	}
 
-	nodeOpts := func(epoch uint64) stream.NodeOptions {
+	nodeOpts := func(l int, epoch uint64) stream.NodeOptions {
 		return stream.NodeOptions{
 			Epoch:       epoch,
 			PushTimeout: 2 * time.Second,
 			BaseBackoff: time.Millisecond,
 			MaxBackoff:  20 * time.Millisecond,
+			// Reconnect jitter derives from the scenario seed, so a soak
+			// failure's backoff timing replays from its scenario line.
+			BackoffSeed: xrand.New(scn.Seed).Split(0xbac0ff ^ uint64(l)<<8 ^ epoch).Uint64(),
 		}
 	}
 	nodes := make([]*stream.Node, scn.L)
 	shadow := make([]*csoutlier.Updater, scn.L)
 	for l := range nodes {
-		n, err := stream.Dial(ctx, proxies[l].Addr(), sk, NodeID(l), nodeOpts(1))
+		n, err := stream.Dial(ctx, proxies[l].Addr(), sk, NodeID(l), nodeOpts(l, 1))
 		if err != nil {
 			closeAgg()
 			return nil, fmt.Errorf("simtest: dial node %d: %w", l, err)
@@ -440,7 +443,7 @@ func RunStream(scn StreamScenario, data *StreamData) (*StreamResult, error) {
 					return nil, err
 				}
 				nodes[l].Abort()
-				n, err := stream.Dial(ctx, proxies[l].Addr(), sk, NodeID(l), nodeOpts(2))
+				n, err := stream.Dial(ctx, proxies[l].Addr(), sk, NodeID(l), nodeOpts(l, 2))
 				if err != nil {
 					closeAgg()
 					return nil, fmt.Errorf("simtest: restart node %d: %w", l, err)
@@ -522,9 +525,11 @@ func CheckStreamScenario(scn StreamScenario) error {
 	}
 
 	// (2) Every contiguous span's recovered outliers match the oracle.
+	queries := 0
 	for from := 0; from < scn.W; from++ {
 		for to := from; to < scn.W; to++ {
 			rep, err := res.Agg.Outliers(from, to, scn.K)
+			queries++
 			if err != nil {
 				return fmt.Errorf("span [%d,%d]: %w", from, to, err)
 			}
@@ -541,8 +546,50 @@ func CheckStreamScenario(scn StreamScenario) error {
 	if _, err := res.Agg.Outliers(0, scn.W-1, scn.K); err != nil {
 		return err
 	}
+	queries++
 	if s := res.Agg.Stats(); s.CacheHits < 1 {
 		return fmt.Errorf("repeated standing query missed the cache: %+v", s)
+	}
+
+	// Counter identities at quiescence: every frame landed in exactly one
+	// outcome bucket, and every query either hit or missed the cache.
+	stats := res.Agg.Stats()
+	if stats.Frames != stats.Applied+stats.Duplicates+stats.Dropped+stats.Rejected {
+		return fmt.Errorf("frame identity violated: %d frames != %d applied + %d dup + %d dropped + %d rejected",
+			stats.Frames, stats.Applied, stats.Duplicates, stats.Dropped, stats.Rejected)
+	}
+	if got := stats.CacheHits + stats.CacheMisses; got != int64(queries) {
+		return fmt.Errorf("cache hits+misses = %d, issued %d queries", got, queries)
+	}
+	// The registry is the same books as the AggStats snapshot.
+	if reg := res.Agg.MetricsRegistry(); reg != nil {
+		for _, c := range []struct {
+			name string
+			want int64
+		}{
+			{"stream_frames_total", stats.Frames},
+			{"stream_rotations_total", stats.Rotations},
+			{"stream_hellos_total", stats.Hellos},
+			{"stream_connections_total", stats.Conns},
+		} {
+			if got := reg.Counter(c.name, "").Value(); got != c.want {
+				return fmt.Errorf("registry %s = %d, AggStats says %d", c.name, got, c.want)
+			}
+		}
+		outcomes := reg.CounterVec("stream_frame_outcomes_total", "", "outcome")
+		for _, c := range []struct {
+			label string
+			want  int64
+		}{
+			{"applied", stats.Applied},
+			{"duplicate", stats.Duplicates},
+			{"dropped", stats.Dropped},
+			{"rejected", stats.Rejected},
+		} {
+			if got := outcomes.With(c.label).Value(); got != c.want {
+				return fmt.Errorf("registry frame outcome %s = %d, AggStats says %d", c.label, got, c.want)
+			}
+		}
 	}
 
 	// (3) Liveness and idempotency bookkeeping.
@@ -566,6 +613,23 @@ func CheckStreamScenario(scn StreamScenario) error {
 	}
 	if s := res.Agg.Stats(); s.Duplicates < int64(scn.W) {
 		return fmt.Errorf("aggregator saw %d duplicates, injected %d", s.Duplicates, scn.W)
+	}
+	// Per-node outcome counters sum to the aggregate ones. Rejected is
+	// >=: a stale-epoch frame is refused before any node state is
+	// charged, so it counts aggregator-wide only.
+	var applied, dups, dropped, rejected int64
+	for _, ns := range sts {
+		applied += ns.Applied
+		dups += ns.Duplicates
+		dropped += ns.Dropped
+		rejected += ns.Rejected
+	}
+	switch {
+	case applied != stats.Applied, dups != stats.Duplicates, dropped != stats.Dropped:
+		return fmt.Errorf("per-node sums (applied %d, dup %d, dropped %d) disagree with aggregate (%d, %d, %d)",
+			applied, dups, dropped, stats.Applied, stats.Duplicates, stats.Dropped)
+	case rejected > stats.Rejected:
+		return fmt.Errorf("per-node rejected sum %d exceeds aggregate %d", rejected, stats.Rejected)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package stream
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"csoutlier"
+	"csoutlier/internal/obs"
 )
 
 // AggregatorOptions tunes the aggregator. The zero value gets
@@ -31,6 +33,11 @@ type AggregatorOptions struct {
 	// for this long. Nodes reconnect transparently; the timeout only
 	// reclaims handler goroutines from dead peers. 0 = never.
 	IdleTimeout time.Duration
+	// Metrics is the registry the aggregator's stream_* families are
+	// registered in — pass the process registry to expose them on
+	// /metrics. nil = a private registry (Stats still works; nothing is
+	// exported).
+	Metrics *obs.Registry
 }
 
 func (o AggregatorOptions) withDefaults() AggregatorOptions {
@@ -59,7 +66,10 @@ type NodeStatus struct {
 	Restarts   int64     // epoch bumps observed
 }
 
-// AggStats is a snapshot of aggregator-wide counters.
+// AggStats is a snapshot of aggregator-wide counters. Every counter is
+// read from the aggregator's metrics registry (see AggregatorOptions
+// .Metrics) — the struct is a convenience view over the same numbers
+// /metrics exports, not a second set of books.
 type AggStats struct {
 	Window      uint64 // current window ID
 	Nodes       int    // nodes ever seen
@@ -94,11 +104,18 @@ type queryKey struct {
 }
 
 // queryResult is a cached recovery result, valid while gen matches the
-// aggregator's fold generation.
+// aggregator's fold generation. seq orders insertions so eviction can
+// drop the oldest entry rather than an arbitrary (or, worse, the
+// hottest) one.
 type queryResult struct {
 	gen    uint64
+	seq    uint64
 	report *csoutlier.Report
 }
+
+// cacheCap bounds the recovery cache. Standing queries are few; the cap
+// only guards against a caller sweeping many distinct (span, k) tuples.
+const cacheCap = 64
 
 // Aggregator is the server half of the streaming service. It folds
 // window-tagged deltas from any number of nodes into a global
@@ -117,12 +134,20 @@ type Aggregator struct {
 	opts AggregatorOptions
 	ws   *csoutlier.WindowStore
 
-	mu     sync.Mutex
-	window uint64 // current window ID, from 1
-	gen    uint64 // bumped on every fold/rotation; versions the cache
-	nodes  map[string]*nodeState
-	stats  AggStats
-	cache  map[queryKey]queryResult
+	metrics  *aggMetrics // registry-backed counters; nil only in bare benchmarks
+	foldTick uint64      // frame counter for sampled fold timing; folder goroutine only
+
+	mu       sync.Mutex
+	window   uint64 // current window ID, from 1
+	gen      uint64 // bumped on every fold/rotation; versions the cache
+	nodes    map[string]*nodeState
+	cache    map[queryKey]queryResult
+	cacheSeq uint64 // insertion clock for cache eviction
+
+	// testHookBeforeSnapshot, when set, runs between a query's cache-miss
+	// decision and its span snapshot — the window where a concurrent fold
+	// used to leave a mistagged cache entry.
+	testHookBeforeSnapshot func()
 
 	// qmu serializes queries so they can share one range-sketch buffer.
 	qmu     sync.Mutex
@@ -163,6 +188,11 @@ func NewAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions) (*Aggregator,
 		folderDone: make(chan struct{}),
 		rotateDone: make(chan struct{}),
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	a.metrics = newAggMetrics(reg, a)
 	go a.fold()
 	if opts.WindowEvery > 0 {
 		go a.rotateLoop()
@@ -198,9 +228,9 @@ func (a *Aggregator) Serve(ln net.Listener) error {
 		}
 		a.conns[conn] = struct{}{}
 		a.connMu.Unlock()
-		a.mu.Lock()
-		a.stats.Conns++
-		a.mu.Unlock()
+		if m := a.metrics; m != nil {
+			m.conns.Inc()
+		}
 		a.handlersWG.Add(1)
 		go a.handle(conn)
 	}
@@ -249,9 +279,11 @@ func (a *Aggregator) handle(conn net.Conn) {
 
 // hello registers/refreshes a node and returns the current window.
 func (a *Aggregator) hello(req pushRequest) Ack {
+	if m := a.metrics; m != nil {
+		m.hellos.Inc()
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.stats.Hellos++
 	ns, err := a.nodeLocked(req.Node, req.Epoch)
 	if err != nil {
 		return Ack{Err: err.Error(), Window: a.window, Status: StatusHello}
@@ -269,7 +301,6 @@ func (a *Aggregator) nodeLocked(node string, epoch uint64) (*nodeState, error) {
 	if !ok {
 		ns = &nodeState{status: NodeStatus{Node: node, Epoch: epoch}}
 		a.nodes[node] = ns
-		a.stats.Nodes = len(a.nodes)
 		return ns, nil
 	}
 	switch {
@@ -295,23 +326,61 @@ func (a *Aggregator) fold() {
 	}
 }
 
-// apply folds one delta frame and produces its ack.
+// foldSampleMask picks which frames get wall-clock fold timing: frame
+// ticks where tick&mask == 1, i.e. the first frame and then 1 in 16.
+// Clock reads dominate instrumentation cost on sub-microsecond folds
+// (two time.Now calls cost more than the fold on virtualized clocks),
+// so the latency histogram samples while every counter stays exact.
+const foldSampleMask = 15
+
+// apply folds one delta frame, produces its ack, and records the
+// frame's outcome — two atomic counter increments per frame, plus a
+// lock-free histogram observation on sampled frames. Nothing here can
+// block the folder.
 func (a *Aggregator) apply(req pushRequest) Ack {
+	m := a.metrics
+	if m == nil {
+		return a.applyFrame(req)
+	}
+	a.foldTick++
+	timed := a.foldTick&foldSampleMask == 1
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	ack := a.applyFrame(req)
+	if timed {
+		m.foldSeconds.Observe(time.Since(start).Seconds())
+	}
+	m.frames.Inc()
+	switch {
+	case ack.Err != "":
+		m.rejected.Inc()
+	case ack.Status == StatusDuplicate:
+		m.duplicates.Inc()
+	case ack.Status == StatusDroppedOld:
+		m.dropped.Inc()
+	default:
+		m.applied.Inc()
+	}
+	return ack
+}
+
+// applyFrame is the uninstrumented fold: idempotency, window placement
+// and the actual sketch addition.
+func (a *Aggregator) applyFrame(req pushRequest) Ack {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.stats.Frames++
 	ack := Ack{Window: a.window}
 	ns, err := a.nodeLocked(req.Node, req.Epoch)
 	if err != nil {
 		ack.Err = err.Error()
-		a.stats.Rejected++
 		return ack
 	}
 	ns.status.LastSeen = time.Now()
 	reject := func(format string, args ...any) Ack {
 		ack.Err = fmt.Sprintf(format, args...)
 		ns.status.Rejected++
-		a.stats.Rejected++
 		return ack
 	}
 	if req.Seq == 0 {
@@ -322,7 +391,6 @@ func (a *Aggregator) apply(req pushRequest) Ack {
 		// folded, ack again, fold nothing.
 		ack.Status = StatusDuplicate
 		ns.status.Duplicates++
-		a.stats.Duplicates++
 		return ack
 	}
 	if req.Window > a.window {
@@ -337,7 +405,6 @@ func (a *Aggregator) apply(req pushRequest) Ack {
 		ns.tracker.mark(req.Seq)
 		ack.Status = StatusDroppedOld
 		ns.status.Dropped++
-		a.stats.Dropped++
 		return ack
 	}
 	delta, err := a.sk.UnmarshalSketch(req.Payload)
@@ -354,7 +421,6 @@ func (a *Aggregator) apply(req pushRequest) Ack {
 	if req.Window > ns.status.LastWindow {
 		ns.status.LastWindow = req.Window
 	}
-	a.stats.Applied++
 	a.gen++ // new data: recovery cache entries are now stale
 	ack.Applied = true
 	ack.Status = StatusApplied
@@ -386,7 +452,9 @@ func (a *Aggregator) Rotate() uint64 {
 	a.ws.Rotate()
 	a.window++
 	a.gen++
-	a.stats.Rotations++
+	if m := a.metrics; m != nil {
+		m.rotations.Inc()
+	}
 	return a.window
 }
 
@@ -423,20 +491,38 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 	key := queryKey{fromAge: fromAge, toAge: toAge, k: k}
 	a.qmu.Lock()
 	defer a.qmu.Unlock()
+	m := a.metrics
 	a.mu.Lock()
-	gen := a.gen
-	if r, ok := a.cache[key]; ok && r.gen == gen {
-		a.stats.CacheHits++
+	if r, ok := a.cache[key]; ok && r.gen == a.gen {
 		a.mu.Unlock()
+		if m != nil {
+			m.cacheHits.Inc()
+		}
 		return r.report, nil
 	}
-	a.stats.CacheMisses++
 	a.mu.Unlock()
-	// Snapshot the span at generation gen, then recover outside every
-	// mutex: BOMP is the expensive part and must not stall ingest. A fold
-	// racing the recovery just leaves the cache entry stale-tagged, so
-	// the next query recomputes.
-	if err := a.ws.RangeInto(fromAge, toAge, a.qsketch); err != nil {
+	if m != nil {
+		m.cacheMisses.Inc()
+	}
+	if hook := a.testHookBeforeSnapshot; hook != nil {
+		hook()
+	}
+	// Snapshot the span and read its fold generation under one a.mu
+	// critical section — apply holds a.mu across both the sketch addition
+	// and the gen bump, so the pair is consistent: the cache entry is
+	// tagged with exactly the generation whose data it holds. (Tagging
+	// with a generation read before the snapshot — the old code — let a
+	// fold land in between, leaving an entry that contained the new data
+	// but was tagged stale, so an identical follow-up query recomputed.)
+	// BOMP itself still runs outside every mutex: recovery is the
+	// expensive part and must not stall ingest. A fold racing the
+	// recovery leaves the entry honestly stale-tagged and the next query
+	// recomputes.
+	a.mu.Lock()
+	gen := a.gen
+	err := a.ws.RangeInto(fromAge, toAge, a.qsketch)
+	a.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	report, err := a.sk.Detect(a.qsketch, k)
@@ -444,12 +530,40 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 		return nil, err
 	}
 	a.mu.Lock()
-	if len(a.cache) > 64 { // standing queries are few; cap drift
-		clear(a.cache)
-	}
-	a.cache[key] = queryResult{gen: gen, report: report}
+	a.insertCacheLocked(key, queryResult{gen: gen, report: report})
 	a.mu.Unlock()
 	return report, nil
+}
+
+// insertCacheLocked stores a recovery result and bounds the cache.
+// Eviction preference: entries whose generation is already stale (they
+// can never hit again) go first, then the oldest-inserted live entries
+// — never the whole map, which used to evict hot standing queries the
+// moment a 65th distinct query swept past.
+func (a *Aggregator) insertCacheLocked(key queryKey, r queryResult) {
+	a.cacheSeq++
+	r.seq = a.cacheSeq
+	a.cache[key] = r
+	if len(a.cache) <= cacheCap {
+		return
+	}
+	for k, v := range a.cache {
+		if k != key && v.gen != a.gen {
+			delete(a.cache, k)
+		}
+	}
+	for len(a.cache) > cacheCap {
+		oldest, oldestSeq := key, uint64(0)
+		for k, v := range a.cache {
+			if k != key && (oldest == key || v.seq < oldestSeq) {
+				oldest, oldestSeq = k, v.seq
+			}
+		}
+		if oldest == key {
+			return // only the fresh entry is left
+		}
+		delete(a.cache, oldest)
+	}
 }
 
 // Nodes returns the liveness/lag table, sorted by node name.
@@ -468,13 +582,52 @@ func (a *Aggregator) Nodes() []NodeStatus {
 	return out
 }
 
-// Stats returns a snapshot of aggregator-wide counters.
+// Stats returns a snapshot of aggregator-wide counters, read from the
+// metrics registry. Counters are sampled individually (atomics, not one
+// critical section), so a snapshot taken while frames are in flight may
+// be mid-frame inconsistent by one; at quiescence the identities
+// Frames == Applied+Duplicates+Dropped+Rejected and
+// CacheHits+CacheMisses == queries hold exactly.
 func (a *Aggregator) Stats() AggStats {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	s := a.stats
-	s.Window = a.window
+	s := AggStats{Window: a.window, Nodes: len(a.nodes)}
+	a.mu.Unlock()
+	m := a.metrics
+	if m == nil {
+		return s
+	}
+	s.Conns = m.conns.Value()
+	s.Hellos = m.hellos.Value()
+	s.Frames = m.frames.Value()
+	s.Applied = m.applied.Value()
+	s.Duplicates = m.duplicates.Value()
+	s.Dropped = m.dropped.Value()
+	s.Rejected = m.rejected.Value()
+	s.Rotations = m.rotations.Value()
+	s.CacheHits = m.cacheHits.Value()
+	s.CacheMisses = m.cacheMisses.Value()
 	return s
+}
+
+// MetricsRegistry returns the registry holding the aggregator's
+// stream_* families: the one supplied in AggregatorOptions.Metrics, or
+// the private registry created when none was.
+func (a *Aggregator) MetricsRegistry() *obs.Registry {
+	if a.metrics == nil {
+		return nil
+	}
+	return a.metrics.reg
+}
+
+// Ready reports whether the aggregator is still accepting frames — the
+// /healthz readiness hook.
+func (a *Aggregator) Ready() error {
+	select {
+	case <-a.quit:
+		return errors.New("stream: aggregator closed")
+	default:
+		return nil
+	}
 }
 
 // Close shuts the aggregator down gracefully: stop accepting, close

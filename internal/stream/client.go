@@ -6,9 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"time"
+
+	"csoutlier/internal/xrand"
 )
 
 // Client is the low-level delta-protocol client: one TCP connection,
@@ -92,9 +93,11 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// backoffDelay is exponential backoff with full jitter, mirroring the
-// pull transport's policy (internal/cluster).
-func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+// backoffDelay is exponential backoff with equal jitter, mirroring the
+// pull transport's policy (internal/cluster). The jitter comes from the
+// caller's RNG, not the global source, so a node seeded from a
+// simulation scenario reconnects with reproducible timing.
+func backoffDelay(rng *xrand.RNG, attempt int, base, max time.Duration) time.Duration {
 	d := base
 	for i := 1; i < attempt && d < max; i++ {
 		d *= 2
@@ -106,5 +109,5 @@ func backoffDelay(attempt int, base, max time.Duration) time.Duration {
 	if half <= 0 {
 		return d
 	}
-	return time.Duration(half + rand.Int63n(half+1))
+	return time.Duration(half + int64(rng.Uint64()%uint64(half+1)))
 }

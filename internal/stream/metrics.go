@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"time"
+
+	"csoutlier/internal/obs"
+)
+
+// aggMetrics is the aggregator's registry-backed instrumentation — the
+// single source of truth for every counter AggStats reports. The hot
+// fold path touches only pre-resolved counters and one histogram, all
+// lock-free; per-node liveness is exported as labeled gauges refreshed
+// at scrape time (OnScrape) rather than maintained per frame.
+type aggMetrics struct {
+	reg *obs.Registry
+
+	conns       *obs.Counter
+	hellos      *obs.Counter
+	frames      *obs.Counter
+	applied     *obs.Counter
+	duplicates  *obs.Counter
+	dropped     *obs.Counter
+	rejected    *obs.Counter
+	rotations   *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	foldSeconds *obs.Histogram
+
+	nodeLag      *obs.GaugeVec
+	nodeLastSeen *obs.GaugeVec
+	nodeEpoch    *obs.GaugeVec
+	nodeRestarts *obs.GaugeVec
+	nodeFrames   *obs.GaugeVec
+}
+
+// newAggMetrics registers the streaming aggregator's metric families in
+// reg and binds the scrape-time views of a's live state.
+func newAggMetrics(reg *obs.Registry, a *Aggregator) *aggMetrics {
+	outcomes := reg.CounterVec("stream_frame_outcomes_total",
+		"delta frames by fold outcome", "outcome")
+	cache := reg.CounterVec("stream_recovery_cache_total",
+		"outlier queries by recovery-cache result", "result")
+	m := &aggMetrics{
+		reg: reg,
+		conns: reg.Counter("stream_connections_total",
+			"node connections accepted"),
+		hellos: reg.Counter("stream_hellos_total",
+			"hello frames answered"),
+		frames: reg.Counter("stream_frames_total",
+			"delta frames processed (all outcomes)"),
+		applied:     outcomes.With("applied"),
+		duplicates:  outcomes.With("duplicate"),
+		dropped:     outcomes.With("dropped"),
+		rejected:    outcomes.With("rejected"),
+		rotations: reg.Counter("stream_rotations_total",
+			"window rotations"),
+		cacheHits:   cache.With("hit"),
+		cacheMisses: cache.With("miss"),
+		foldSeconds: reg.Histogram("stream_fold_seconds",
+			"wall time folding one delta frame into the window store (sampled: first frame, then 1 in 16)", obs.LatencyBuckets()),
+		nodeLag: reg.GaugeVec("stream_node_lag_windows",
+			"windows the node's latest applied delta trails the current window", "node"),
+		nodeLastSeen: reg.GaugeVec("stream_node_last_seen_age_seconds",
+			"seconds since the node's last frame", "node"),
+		nodeEpoch: reg.GaugeVec("stream_node_epoch",
+			"node's latest announced incarnation", "node"),
+		nodeRestarts: reg.GaugeVec("stream_node_restarts",
+			"epoch bumps observed for the node", "node"),
+		nodeFrames: reg.GaugeVec("stream_node_frames",
+			"node's delta frames by fold outcome", "node", "outcome"),
+	}
+	reg.GaugeFunc("stream_ingest_queue_depth",
+		"delta frames queued between connection handlers and the folder",
+		func() float64 { return float64(len(a.ingest)) })
+	reg.GaugeFunc("stream_window",
+		"current window ID",
+		func() float64 { return float64(a.CurrentWindow()) })
+	reg.GaugeFunc("stream_nodes",
+		"nodes ever seen",
+		func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return float64(len(a.nodes))
+		})
+	reg.OnScrape(func() {
+		now := time.Now()
+		for _, ns := range a.Nodes() {
+			m.nodeLag.With(ns.Node).SetInt(int64(ns.Lag))
+			m.nodeLastSeen.With(ns.Node).Set(now.Sub(ns.LastSeen).Seconds())
+			m.nodeEpoch.With(ns.Node).SetInt(int64(ns.Epoch))
+			m.nodeRestarts.With(ns.Node).SetInt(ns.Restarts)
+			m.nodeFrames.With(ns.Node, "applied").SetInt(ns.Applied)
+			m.nodeFrames.With(ns.Node, "duplicate").SetInt(ns.Duplicates)
+			m.nodeFrames.With(ns.Node, "dropped").SetInt(ns.Dropped)
+			m.nodeFrames.With(ns.Node, "rejected").SetInt(ns.Rejected)
+		}
+	})
+	return m
+}
+
+// RegisterMetrics exports the node's streaming counters (NodeStats) as
+// gauges in reg, refreshed at scrape time — the client-side counterpart
+// of the aggregator's stream_* families, used by csnode -push.
+func (n *Node) RegisterMetrics(reg *obs.Registry) {
+	window := reg.Gauge("stream_client_window", "node's current window view")
+	pending := reg.Gauge("stream_client_pending_frames", "captured frames not yet acknowledged")
+	captured := reg.Gauge("stream_client_captured_frames", "delta frames captured from the standing sketch")
+	acked := reg.Gauge("stream_client_acked_frames", "frames acknowledged (any status)")
+	applied := reg.Gauge("stream_client_applied_frames", "frames the aggregator folded")
+	redials := reg.Gauge("stream_client_redials", "connections re-established")
+	rotations := reg.Gauge("stream_client_rotations", "window advances adopted from acks")
+	reg.OnScrape(func() {
+		s := n.Stats()
+		window.SetInt(int64(s.Window))
+		pending.SetInt(int64(s.Pending))
+		captured.SetInt(s.Captured)
+		acked.SetInt(s.Acked)
+		applied.SetInt(s.Applied)
+		redials.SetInt(s.Redials)
+		rotations.SetInt(s.Rotations)
+	})
+}

@@ -1,0 +1,283 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"csoutlier"
+	"csoutlier/internal/obs"
+	"csoutlier/internal/xrand"
+)
+
+// testDelta builds one marshalable delta payload.
+func testDelta(t *testing.T, sk *csoutlier.Sketcher, key string, v float64) []byte {
+	t.Helper()
+	u := sk.NewUpdater()
+	if err := u.Observe(key, v); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := u.Sketch().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// TestOutliersCacheHitAfterConcurrentFold pins the cache-generation
+// fix: a fold landing between a query's cache-miss decision and its
+// span snapshot must leave the cache entry tagged with the generation
+// whose data it actually holds, so an identical follow-up query (with
+// no further folds) is a cache hit. The old code tagged the entry with
+// a generation read before the snapshot, so this exact interleaving
+// produced an entry that was never hittable.
+func TestOutliersCacheHitAfterConcurrentFold(t *testing.T) {
+	sk := testSketcher(t, 256, 96, 7)
+	agg, err := NewAggregator(sk, AggregatorOptions{Windows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close(context.Background())
+
+	fold := func(seq uint64, key string) {
+		t.Helper()
+		ack := agg.apply(pushRequest{
+			Kind: pushDelta, Node: "n1", Epoch: 1,
+			Window: 1, Seq: seq, Payload: testDelta(t, sk, key, 100),
+		})
+		if !ack.Applied {
+			t.Fatalf("fold seq %d not applied: %+v", seq, ack)
+		}
+	}
+	fold(1, "key001")
+
+	folded := false
+	agg.testHookBeforeSnapshot = func() {
+		if !folded {
+			folded = true
+			fold(2, "key002")
+		}
+	}
+	r1, err := agg.Outliers(0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !folded {
+		t.Fatal("hook did not run: query was not a miss")
+	}
+	agg.testHookBeforeSnapshot = nil
+
+	r2, err := agg.Outliers(0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r1 {
+		t.Fatal("second identical query recomputed: cache entry was tagged with a stale generation")
+	}
+	s := agg.Stats()
+	if s.CacheHits != 1 || s.CacheMisses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", s.CacheHits, s.CacheMisses)
+	}
+}
+
+// TestCacheEvictionKeepsHotQueries pins the eviction fix: when the
+// cache overflows, stale-generation entries go first, so a standing
+// query refreshed after the latest fold survives a sweep of distinct
+// one-off queries. The old clear-everything eviction evicted it.
+func TestCacheEvictionKeepsHotQueries(t *testing.T) {
+	sk := testSketcher(t, 256, 96, 11)
+	agg, err := NewAggregator(sk, AggregatorOptions{Windows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close(context.Background())
+
+	ack := agg.apply(pushRequest{
+		Kind: pushDelta, Node: "n1", Epoch: 1,
+		Window: 1, Seq: 1, Payload: testDelta(t, sk, "key000", 50),
+	})
+	if !ack.Applied {
+		t.Fatalf("fold not applied: %+v", ack)
+	}
+	query := func(k int) {
+		t.Helper()
+		if _, err := agg.Outliers(0, 0, k); err != nil {
+			t.Fatalf("Outliers(k=%d): %v", k, err)
+		}
+	}
+	// 40 one-off queries at the current generation, all made stale by the
+	// next fold.
+	for k := 1; k <= 40; k++ {
+		query(k)
+	}
+	ack = agg.apply(pushRequest{
+		Kind: pushDelta, Node: "n1", Epoch: 1,
+		Window: 1, Seq: 2, Payload: testDelta(t, sk, "key001", 60),
+	})
+	if !ack.Applied {
+		t.Fatalf("fold not applied: %+v", ack)
+	}
+	const standing = 41
+	query(standing) // the hot standing query, fresh generation
+	// A sweep of distinct queries pushes the cache past its cap. The 40
+	// stale entries must be evicted before any fresh one.
+	for k := 42; k <= 71; k++ {
+		query(k)
+	}
+	before := agg.Stats()
+	query(standing)
+	after := agg.Stats()
+	if hits := after.CacheHits - before.CacheHits; hits != 1 {
+		t.Fatalf("standing query after sweep: %d cache hits, want 1 (evicted?)", hits)
+	}
+	agg.mu.Lock()
+	size := len(agg.cache)
+	agg.mu.Unlock()
+	if size > cacheCap {
+		t.Fatalf("cache size %d exceeds cap %d", size, cacheCap)
+	}
+}
+
+// TestBackoffDelayDeterministic pins the seedable-jitter contract: the
+// same RNG seed yields the same backoff sequence (so a simulation soak
+// replays reconnect timing), different seeds diverge, and every delay
+// stays inside the equal-jitter envelope [d/2, d].
+func TestBackoffDelayDeterministic(t *testing.T) {
+	const base, max = time.Millisecond, 50 * time.Millisecond
+	a, b := xrand.New(123), xrand.New(123)
+	other := xrand.New(456)
+	diverged := false
+	for attempt := 1; attempt <= 12; attempt++ {
+		da := backoffDelay(a, attempt, base, max)
+		db := backoffDelay(b, attempt, base, max)
+		if da != db {
+			t.Fatalf("attempt %d: same seed gave %v and %v", attempt, da, db)
+		}
+		if dc := backoffDelay(other, attempt, base, max); dc != da {
+			diverged = true
+		}
+		d := base
+		for i := 1; i < attempt && d < max; i++ {
+			d *= 2
+		}
+		if d > max {
+			d = max
+		}
+		if da < d/2 || da > d {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, da, d/2, d)
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical jitter for 12 straight draws")
+	}
+}
+
+// TestAggregatorMetricsExposition checks the registry is the single
+// source of truth: the AggStats snapshot satisfies the frame identity,
+// its numbers agree exactly with the registry's counters, and the
+// rendered exposition is well-formed and carries the required families.
+func TestAggregatorMetricsExposition(t *testing.T) {
+	sk := testSketcher(t, 256, 96, 13)
+	reg := obs.NewRegistry()
+	agg, err := NewAggregator(sk, AggregatorOptions{Windows: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close(context.Background())
+
+	payload := testDelta(t, sk, "key007", 80)
+	push := func(window, seq uint64) Ack {
+		return agg.apply(pushRequest{
+			Kind: pushDelta, Node: "n1", Epoch: 1,
+			Window: window, Seq: seq, Payload: payload,
+		})
+	}
+	if ack := push(1, 1); !ack.Applied {
+		t.Fatalf("apply: %+v", ack)
+	}
+	if ack := push(1, 1); ack.Status != StatusDuplicate {
+		t.Fatalf("duplicate: %+v", ack)
+	}
+	agg.Rotate()
+	agg.Rotate()
+	if ack := push(1, 2); ack.Status != StatusDroppedOld {
+		t.Fatalf("dropped: %+v", ack)
+	}
+	if ack := push(3, 0); ack.Err == "" {
+		t.Fatalf("seq 0 not rejected: %+v", ack)
+	}
+	if _, err := agg.Outliers(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Outliers(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	s := agg.Stats()
+	if s.Frames != s.Applied+s.Duplicates+s.Dropped+s.Rejected {
+		t.Fatalf("frame identity violated: %d != %d+%d+%d+%d",
+			s.Frames, s.Applied, s.Duplicates, s.Dropped, s.Rejected)
+	}
+	if s.Frames != 4 || s.Applied != 1 || s.Duplicates != 1 || s.Dropped != 1 || s.Rejected != 1 {
+		t.Fatalf("counters = %+v, want one frame of each outcome", s)
+	}
+	if s.CacheHits != 1 || s.CacheMisses != 1 || s.Rotations != 2 {
+		t.Fatalf("cache %d/%d rotations %d, want 1/1 and 2", s.CacheHits, s.CacheMisses, s.Rotations)
+	}
+	// The struct snapshot and the registry must be the same books.
+	if v := reg.Counter("stream_frames_total", "").Value(); v != s.Frames {
+		t.Fatalf("registry frames %d != stats %d", v, s.Frames)
+	}
+	if v := reg.CounterVec("stream_frame_outcomes_total", "", "outcome").With("applied").Value(); v != s.Applied {
+		t.Fatalf("registry applied %d != stats %d", v, s.Applied)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := obs.LintString(out); err != nil {
+		t.Fatalf("exposition fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"stream_frames_total 4",
+		`stream_frame_outcomes_total{outcome="applied"} 1`,
+		// Fold timing is sampled (first frame, then 1 in 16): 4 frames
+		// yield exactly one histogram observation.
+		"stream_fold_seconds_count 1",
+		"stream_ingest_queue_depth 0",
+		"stream_window 3",
+		`stream_node_lag_windows{node="n1"} 2`,
+		`stream_recovery_cache_total{result="hit"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNodeBackoffSeedOption checks BackoffSeed reaches the node's RNG:
+// two nodes with the same seed draw identical jitter streams.
+func TestNodeBackoffSeedOption(t *testing.T) {
+	sk := testSketcher(t, 64, 32, 17)
+	_, addr := serveAgg(t, sk, AggregatorOptions{Windows: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var rngs []*xrand.RNG
+	for i := 0; i < 2; i++ {
+		n, err := Dial(ctx, addr, sk, fmt.Sprintf("twin%d", i), NodeOptions{BackoffSeed: 999})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Abort()
+		rngs = append(rngs, n.rng)
+	}
+	for i := 0; i < 8; i++ {
+		if a, b := rngs[0].Uint64(), rngs[1].Uint64(); a != b {
+			t.Fatalf("draw %d: seeded RNGs diverged (%d vs %d)", i, a, b)
+		}
+	}
+}

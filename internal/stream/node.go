@@ -3,10 +3,12 @@ package stream
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
 	"csoutlier"
+	"csoutlier/internal/xrand"
 )
 
 // NodeOptions tunes a streaming node. The zero value gets production
@@ -38,6 +40,11 @@ type NodeOptions struct {
 	// 25ms / 1s).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// BackoffSeed seeds the jitter RNG for reconnect backoff. 0 derives
+	// a per-(id, epoch) seed, which is already deterministic; the
+	// simulation harness sets it from the scenario seed so a soak's
+	// reconnect timing replays from its -sim.streamreplay line.
+	BackoffSeed uint64
 }
 
 func (o NodeOptions) withDefaults() NodeOptions {
@@ -109,6 +116,7 @@ type Node struct {
 
 	sendMu sync.Mutex // serializes network use: Flush/Sync/background
 	client *Client
+	rng    *xrand.RNG // backoff jitter, guarded by sendMu
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -132,6 +140,13 @@ func Dial(ctx context.Context, addr string, sk *csoutlier.Sketcher, id string, o
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+	seed := n.opts.BackoffSeed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		seed = h.Sum64() ^ n.opts.Epoch
+	}
+	n.rng = xrand.New(seed)
 	n.drain = sk.ZeroSketch()
 	n.sendMu.Lock()
 	_, err := n.connect(ctx)
@@ -299,7 +314,7 @@ func (n *Node) push(ctx context.Context, f *deltaFrame) (Ack, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, backoffDelay(attempt, n.opts.BaseBackoff, n.opts.MaxBackoff)); err != nil {
+			if err := sleepCtx(ctx, backoffDelay(n.rng, attempt, n.opts.BaseBackoff, n.opts.MaxBackoff)); err != nil {
 				return Ack{}, fmt.Errorf("stream: node %s: %w (last transport error: %v)", n.id, err, lastErr)
 			}
 		}
@@ -371,7 +386,7 @@ func (n *Node) Sync(ctx context.Context) error {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, backoffDelay(attempt, n.opts.BaseBackoff, n.opts.MaxBackoff)); err != nil {
+			if err := sleepCtx(ctx, backoffDelay(n.rng, attempt, n.opts.BaseBackoff, n.opts.MaxBackoff)); err != nil {
 				return fmt.Errorf("stream: node %s: %w (last transport error: %v)", n.id, err, lastErr)
 			}
 		}

@@ -12,6 +12,11 @@
 # The committed BENCH.json holds {meta, baseline, benchmarks}: the
 # numbers before and after the most recent perf PR on the recording box
 # (meta notes its GOMAXPROCS — column-parallel speedups need >1 CPU).
+#
+# The streaming pass records BOTH BenchmarkStreamFold (metrics layer on,
+# the production configuration) and BenchmarkStreamFoldBare (metrics
+# stripped): their ratio is the instrumentation overhead on the hot fold
+# path, budgeted at ≤ 2%.
 set -eu
 cd "$(dirname "$0")/.."
 

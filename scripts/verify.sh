@@ -46,4 +46,33 @@ go test ./internal/simtest -run 'TestSim$' -sim.count=50
 echo "== streaming soak: chaos-TCP push pipeline vs per-window oracle =="
 go test ./internal/simtest -run 'TestStreamSoak$' -sim.streamcount=25
 
+echo "== metrics smoke: /metrics + /healthz on a live csstreamd =="
+tmp=$(mktemp -d)
+daemon=""
+cleanup() {
+	[ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+printf 'key000\nkey001\nkey002\nkey003\nkey004\nkey005\nkey006\nkey007\n' >"$tmp/keys.txt"
+go build -o "$tmp/csstreamd" ./cmd/csstreamd
+go build -o "$tmp/obscheck" ./cmd/obscheck
+"$tmp/csstreamd" -dict "$tmp/keys.txt" -m 4 -listen 127.0.0.1:0 \
+	-metrics-addr 127.0.0.1:0 -report-every 0 >"$tmp/log" 2>&1 &
+daemon=$!
+url=""
+for _ in $(seq 1 50); do
+	url=$(sed -n 's/.*csstreamd metrics on \(http:[^ ]*\)$/\1/p' "$tmp/log" | head -1)
+	[ -n "$url" ] && break
+	sleep 0.1
+done
+if [ -z "$url" ]; then
+	echo "verify: csstreamd never logged its metrics address" >&2
+	cat "$tmp/log" >&2
+	exit 1
+fi
+"$tmp/obscheck" -url "$url" -require \
+	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,recovery_detect_seconds
+"$tmp/obscheck" -url "${url%/metrics}/healthz" -health
+
 echo "verify: OK"
