@@ -141,8 +141,9 @@ func report(agg *stream.Aggregator, k, span int) {
 		span = avail
 	}
 	s := agg.Stats()
-	log.Printf("window %d: %d deltas applied (%d dup, %d dropped, %d rejected), %d rotations, cache %d/%d hit",
-		s.Window, s.Applied, s.Duplicates, s.Dropped, s.Rejected, s.Rotations, s.CacheHits, s.CacheHits+s.CacheMisses)
+	log.Printf("window %d: %d deltas applied (%d dup, %d dropped, %d rejected), %d rotations, cache %d/%d hit, %d warm starts, %d batch refreshes",
+		s.Window, s.Applied, s.Duplicates, s.Dropped, s.Rejected, s.Rotations, s.CacheHits, s.CacheHits+s.CacheMisses,
+		s.WarmStarts, s.BatchRefreshes)
 	for _, ns := range agg.Nodes() {
 		log.Printf("  node %-12s epoch=%d lag=%d applied=%d dup=%d dropped=%d rejected=%d restarts=%d last-seen=%s",
 			ns.Node, ns.Epoch, ns.Lag, ns.Applied, ns.Duplicates, ns.Dropped, ns.Rejected, ns.Restarts,

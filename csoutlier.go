@@ -103,6 +103,13 @@ type Report struct {
 	// persistently high residual on a standing query means the data is
 	// less sparse than the measurement budget assumes.
 	Residual float64
+	// Selection is the recovery engine's internal selection order for
+	// this query (an opaque warm hint). A standing query should pass the
+	// previous generation's Selection as Warm in the next DetectQuery/
+	// DetectBatch call: when the data between two sketches drifts slowly,
+	// recovery then replays its prediction instead of re-deriving it,
+	// at identical (bit-exact) output. Safe to pass stale or to drop.
+	Selection []int
 }
 
 // Sketch is a compressed representation of a node's key→value slice.
@@ -170,6 +177,14 @@ type Sketcher struct {
 	params sensing.Params
 	matrix sensing.Matrix // dense when affordable, seeded otherwise
 
+	// recMat is the recovery-side view of matrix: for regenerating
+	// ensembles it wraps matrix in a bounded sensing.ColumnCache, so the
+	// Φ columns the greedy engine selects — which recur across the
+	// standing queries and fold generations served by one Sketcher — are
+	// generated once, not once per query. Measurement paths keep using
+	// matrix directly (they stream columns and would thrash the cache).
+	recMat sensing.Matrix
+
 	// ws recycles recovery workspaces across Detect/Recover calls, so a
 	// standing query replaying BOMP on each refreshed sketch reuses all
 	// recovery scratch (QR factorization, correlation and residual
@@ -196,6 +211,15 @@ type detectMetrics struct {
 	iterations *obs.Histogram
 	residual   *obs.Gauge
 	detects    *obs.Counter
+
+	// Batch-engine metrics (DetectBatch / DetectQuery).
+	batches       *obs.Counter
+	batchQueries  *obs.Counter
+	batchWarm     *obs.Counter
+	batchScripted *obs.Counter
+	batchLive     *obs.Counter
+	batchDiverged *obs.Counter
+	batchSeconds  *obs.Histogram
 }
 
 // Instrument registers the recovery path's metrics in reg and starts
@@ -205,6 +229,18 @@ type detectMetrics struct {
 //	recovery_detect_iterations   — greedy columns selected per query
 //	recovery_residual_norm       — last query's final ‖y − Φ·x̂‖₂
 //	recovery_detects_total       — queries answered by BOMP
+//
+// and the batch engine's (DetectBatch / DetectQuery):
+//
+//	recovery_batches_total                     — batched recovery passes
+//	recovery_batch_queries_total               — queries served batched
+//	recovery_batch_warm_total                  — of those, warm-hinted
+//	recovery_batch_scripted_iterations_total   — iterations served from the
+//	                                             precomputed correlation block
+//	recovery_batch_live_iterations_total       — iterations needing a fresh
+//	                                             correlation pass
+//	recovery_batch_divergences_total           — stale warm hints detected
+//	recovery_batch_seconds                     — wall time per batched pass
 //
 // Call it once at daemon startup with the registry served at
 // -metrics-addr; it is safe (but pointless) to call more than once.
@@ -218,6 +254,20 @@ func (s *Sketcher) Instrument(reg *obs.Registry) {
 			"final recovery residual norm of the most recent outlier query"),
 		detects: reg.Counter("recovery_detects_total",
 			"outlier queries answered by BOMP recovery"),
+		batches: reg.Counter("recovery_batches_total",
+			"batched recovery passes (DetectBatch calls doing work)"),
+		batchQueries: reg.Counter("recovery_batch_queries_total",
+			"outlier queries served through the batched recovery engine"),
+		batchWarm: reg.Counter("recovery_batch_warm_total",
+			"batched queries that carried a warm-start hint"),
+		batchScripted: reg.Counter("recovery_batch_scripted_iterations_total",
+			"greedy iterations served from the batched correlation block"),
+		batchLive: reg.Counter("recovery_batch_live_iterations_total",
+			"greedy iterations that needed a live correlation pass"),
+		batchDiverged: reg.Counter("recovery_batch_divergences_total",
+			"warm-started queries whose hint went stale mid-replay"),
+		batchSeconds: reg.Histogram("recovery_batch_seconds",
+			"wall time per batched recovery pass, in seconds", obs.LatencyBuckets()),
 	})
 }
 
@@ -271,7 +321,14 @@ func NewSketcher(keys []string, cfg Config) (*Sketcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sketcher{cfg: cfg, dict: dict, params: p, matrix: mat}, nil
+	recMat := mat
+	if _, dense := mat.(*sensing.Dense); !dense {
+		// Regenerating ensembles pay O(M)+ PRNG (or transform) work per
+		// column fetch; the recovery engine refetches the same support
+		// columns every generation. Dense already materializes.
+		recMat = sensing.NewColumnCache(mat, 0)
+	}
+	return &Sketcher{cfg: cfg, dict: dict, params: p, matrix: mat, recMat: recMat}, nil
 }
 
 // N returns the key-space size.
@@ -385,7 +442,7 @@ func (s *Sketcher) Detect(global Sketch, k int) (*Report, error) {
 		start = time.Now()
 	}
 	ws := s.workspace()
-	res, err := ws.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: iters})
+	res, err := ws.BOMP(s.recMat, global.Y, recovery.Options{MaxIterations: iters})
 	if err != nil {
 		return nil, err
 	}
@@ -395,19 +452,116 @@ func (s *Sketcher) Detect(global Sketch, k int) (*Report, error) {
 		m.residual.Set(res.Residual)
 		m.detects.Inc()
 	}
-	// res aliases ws's buffers: copy everything the Report needs before
-	// returning the workspace to the pool.
+	rep := s.reportFromResult(res, k)
+	s.ws.Put(ws)
+	return rep, nil
+}
+
+// reportFromResult packages a recovery result into a Report, copying
+// everything out of the workspace-owned slices so the workspace can go
+// back to the pool.
+func (s *Sketcher) reportFromResult(res *recovery.Result, k int) *Report {
 	cands := make([]outlier.KV, len(res.Support))
 	for i, j := range res.Support {
 		cands[i] = outlier.KV{Index: j, Value: res.X[j]}
 	}
 	top := outlier.TopKOf(cands, res.Mode, k)
-	rep := &Report{Mode: res.Mode, Iterations: res.Iterations, Residual: res.Residual}
+	rep := &Report{
+		Mode:       res.Mode,
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+		Selection:  append([]int(nil), res.Selection...),
+	}
 	for _, kv := range top {
 		rep.Outliers = append(rep.Outliers, Outlier{Key: s.dict.Key(kv.Index), Value: kv.Value})
 	}
-	s.ws.Put(ws)
-	return rep, nil
+	return rep
+}
+
+// BatchQuery is one query in a DetectBatch call.
+type BatchQuery struct {
+	// Global is the aggregated sketch to recover from.
+	Global Sketch
+	// K is the number of outliers to report.
+	K int
+	// Warm is the previous generation's Report.Selection for this
+	// standing query, or nil for a cold solve. Stale hints are safe: the
+	// answer is bit-identical to a cold Detect either way.
+	Warm []int
+}
+
+// DetectQuery is Detect with a warm-start hint: a standing query passes
+// the previous generation's Report.Selection to amortize the recovery
+// work across generations. The report is bit-identical to Detect's.
+func (s *Sketcher) DetectQuery(global Sketch, k int, warm []int) (*Report, error) {
+	reps, err := s.DetectBatch([]BatchQuery{{Global: global, K: k, Warm: warm}})
+	if err != nil {
+		return nil, err
+	}
+	return reps[0], nil
+}
+
+// DetectBatch answers many outlier queries in one batched recovery
+// pass: every greedy iteration the warm hints predict — across all
+// queries — is correlated in a single block kernel call, which
+// regenerates each dictionary column once for the whole batch instead of
+// once per query per iteration. Each report is bit-identical to an
+// independent Detect on the same sketch.
+func (s *Sketcher) DetectBatch(queries []BatchQuery) ([]*Report, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	id := s.sketchID()
+	items := make([]recovery.BatchItem, len(queries))
+	for i, q := range queries {
+		if err := q.Global.compatible(id); err != nil {
+			return nil, fmt.Errorf("csoutlier: batch query %d: %w", i, err)
+		}
+		if q.K <= 0 {
+			return nil, fmt.Errorf("csoutlier: batch query %d: k must be positive, got %d", i, q.K)
+		}
+		iters := s.cfg.MaxIterations
+		if iters == 0 {
+			iters = recovery.IterationBudget(q.K)
+		}
+		items[i] = recovery.BatchItem{Y: q.Global.Y, Warm: q.Warm, Opt: recovery.Options{MaxIterations: iters}}
+	}
+	m := s.metrics.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	wss := make([]*recovery.Workspace, len(queries))
+	for i := range wss {
+		wss[i] = s.workspace()
+	}
+	results, stats, err := recovery.BOMPBatch(s.recMat, wss, items)
+	if err != nil {
+		for _, ws := range wss {
+			s.ws.Put(ws)
+		}
+		return nil, err
+	}
+	reports := make([]*Report, len(results))
+	for i, res := range results {
+		reports[i] = s.reportFromResult(res, queries[i].K)
+		if m != nil {
+			m.iterations.Observe(float64(res.Iterations))
+			m.residual.Set(res.Residual)
+		}
+		s.ws.Put(wss[i])
+	}
+	if m != nil {
+		m.batchSeconds.Observe(time.Since(start).Seconds())
+		m.batches.Inc()
+		m.detects.Add(int64(stats.Items))
+		m.batchQueries.Add(int64(stats.Items))
+		m.batchWarm.Add(int64(stats.Warm))
+		m.batchScripted.Add(int64(stats.ScriptedIterations))
+		m.batchLive.Add(int64(stats.LiveIterations))
+		m.batchDiverged.Add(int64(stats.Divergences))
+	}
+	return reports, nil
 }
 
 // Recover reconstructs the full (approximate) global aggregate from the
@@ -418,7 +572,7 @@ func (s *Sketcher) Recover(global Sketch, maxIters int) (map[string]float64, flo
 		return nil, 0, err
 	}
 	ws := s.workspace()
-	res, err := ws.BOMP(s.matrix, global.Y, recovery.Options{MaxIterations: maxIters})
+	res, err := ws.BOMP(s.recMat, global.Y, recovery.Options{MaxIterations: maxIters})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -60,6 +60,89 @@ func BenchmarkRecoveryKnownModeOMPSeeded(b *testing.B) {
 	}
 }
 
+// batchBenchSetup builds the batched-recovery scenario: 8 standing span
+// queries over the Seeded ensemble (128×1000, the scaling instance), each
+// with the exact warm hint its previous-generation solve would have
+// produced — the steady state of a standing query whose data drifts
+// slowly enough that the selection order survives between folds.
+func batchBenchSetup(b *testing.B) (sensing.Matrix, []*Workspace, []BatchItem) {
+	b.Helper()
+	mat, err := sensing.NewSeeded(sensing.Params{M: 128, N: 1000, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nq = 8
+	wss := make([]*Workspace, nq)
+	items := make([]BatchItem, nq)
+	for i := range items {
+		s := 6 + i%5
+		x, _ := workload.MajorityDominated(1000, s, 1800+50*float64(i), 300, 3000, uint64(10+i))
+		y := mat.Measure(x, nil)
+		opt := Options{MaxIterations: 3*s + 1}
+		prev, err := NewWorkspace().BOMP(mat, y, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wss[i] = NewWorkspace()
+		items[i] = BatchItem{
+			Y:    y,
+			Warm: append([]int(nil), prev.Selection...),
+			Opt:  opt,
+		}
+	}
+	return mat, wss, items
+}
+
+// BenchmarkBatchedRecoveryCold8 is the baseline the batch engine is
+// measured against: the same 8 standing queries served the pre-batch
+// way, one independent cold workspace BOMP per query.
+func BenchmarkBatchedRecoveryCold8(b *testing.B) {
+	mat, wss, items := batchBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := range items {
+			if _, err := wss[q].BOMP(mat, items[q].Y, items[q].Opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchedRecoveryWarm8 serves the same 8 queries through
+// BOMPBatch with warm hints — one block correlation for all scripted
+// iterations of all queries. BENCH.json pins this at ≥2× below Cold8;
+// the results are bit-identical (TestBOMPBatchBitIdentical).
+func BenchmarkBatchedRecoveryWarm8(b *testing.B) {
+	mat, wss, items := batchBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BOMPBatch(mat, wss, items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmStartBOMP is the single-query warm path: one standing
+// query re-solved with its own previous Selection as the hint.
+func BenchmarkWarmStartBOMP(b *testing.B) {
+	mat, y, s := benchInstance(b, func(p sensing.Params) (sensing.Matrix, error) {
+		return sensing.NewSeeded(p)
+	}, 128, 1000, 10)
+	opt := Options{MaxIterations: 3*s + 1}
+	prev, err := NewWorkspace().BOMP(mat, y, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := append([]int(nil), prev.Selection...)
+	ws := NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ws.BOMPWarm(mat, y, warm, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRecoveryBOMPDenseWorkspace is BOMPDense through a reused
 // Workspace — the standing-query steady state (0 allocs/op).
 func BenchmarkRecoveryBOMPDenseWorkspace(b *testing.B) {

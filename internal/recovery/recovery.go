@@ -35,7 +35,12 @@ type Options struct {
 	MaxIterations int
 
 	// ResidualTol stops the loop once ‖r‖₂ ≤ ResidualTol·‖y‖₂.
-	// 0 means 1e-9 (exact recovery territory).
+	// 0 means 1e-9 (exact recovery territory). A negative value means
+	// literally zero: the tolerance stop is disabled and the loop runs
+	// until the budget, the stall cutoff, or an exactly zero residual.
+	// (0 cannot mean "disabled" — it is the zero value, and a standing
+	// query built with Options{} must get the default, not an engine
+	// that never stops on tolerance.)
 	ResidualTol float64
 
 	// DisableEarlyStop turns off the residual-stall cutoff from §5.
@@ -45,7 +50,10 @@ type Options struct {
 	// StallRelTol is the relative per-iteration residual improvement
 	// below which the §5 early stop fires: the loop halts when
 	// ‖r_t‖ ≥ ‖r_{t−1}‖·(1 − StallRelTol). The default 0 means 1e-12 —
-	// only a numerically flat residual stops the loop.
+	// only a numerically flat residual stops the loop. A negative value
+	// means exactly zero: the loop stops as soon as the residual fails
+	// to strictly decrease (the tightest stall cutoff, not a disabled
+	// one — use DisableEarlyStop for that).
 	//
 	// Note this guards against floating-point drift, not against noise:
 	// greedy selection always finds the dictionary column MOST
@@ -66,6 +74,9 @@ type Options struct {
 }
 
 func (o Options) residualTol() float64 {
+	if o.ResidualTol < 0 {
+		return 0 // explicit "tolerance stop off"
+	}
 	if o.ResidualTol == 0 {
 		return 1e-9
 	}
@@ -73,6 +84,9 @@ func (o Options) residualTol() float64 {
 }
 
 func (o Options) stallRelTol() float64 {
+	if o.StallRelTol < 0 {
+		return 0 // explicit "stop unless strictly decreasing"
+	}
 	if o.StallRelTol == 0 {
 		return 1e-12
 	}
@@ -98,6 +112,12 @@ type Result struct {
 	// Coef holds the recovered deviation from the mode for each entry of
 	// Support (X[Support[i]] = Mode + Coef[i]).
 	Coef []float64
+	// Selection records a BOMP run's extended-dictionary selection order
+	// (column 0 is the bias column φ₀, column j+1 is data column j) —
+	// the warm hint BOMPWarm/BOMPBatch accept when re-solving the same
+	// standing query against the next fold generation's sketch. Nil for
+	// OMP results.
+	Selection []int
 	// Iterations is the number of columns actually selected.
 	Iterations int
 	// Residual is the final residual norm ‖r‖₂ = ‖y − Φ·x̂‖₂ — the

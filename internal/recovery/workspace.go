@@ -30,11 +30,21 @@ type Workspace struct {
 	x        linalg.Vector // assembled N-length output
 	masked   bitset        // columns in the basis or excluded from it
 	selected []int         // selection order
+	selOut   []int         // Result.Selection backing (copy, see finishBOMP)
 	support  []int         // Result.Support backing
 	coefOut  []float64     // Result.Coef backing
 	res      Result
 	bd       biasedDict
 	pd       plainDict
+	st       greedyState
+
+	// Warm-start prediction state (see warm.go). qrSeed is a second QR
+	// so the prediction pass never disturbs ws.qr, which the replay
+	// rebuilds live.
+	qrSeed   *linalg.IncrementalQR
+	script   []int         // validated warm hint: the predicted selection order
+	predRes  linalg.Vector // predicted residual rows, flat rows×M
+	predCorr linalg.Vector // their biased correlations, flat rows×(N+1)
 }
 
 // NewWorkspace returns an empty workspace. Buffers are sized lazily on
@@ -58,11 +68,24 @@ func (ws *Workspace) BOMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Resu
 			return modeFromExtended(z, idx, n)
 		}
 	}
-	sel, coef, diag, err := ws.greedy(&ws.bd, y, p.M, opt, modeFn)
+	ws.greedyInit(&ws.bd, y, p.M, opt, modeFn)
+	for !ws.st.done {
+		ws.corr = ws.bd.correlate(ws.residual, ws.corr)
+		ws.greedyStep()
+	}
+	return ws.finishBOMP(p)
+}
+
+// finishBOMP solves for the coefficients and packages the BOMP Result —
+// shared tail of the cold, warm and batched entry points. Selection is
+// copied into its own backing (not aliased to ws.selected) so a caller
+// may hand the previous generation's Selection straight back as the
+// next call's warm hint on the SAME workspace.
+func (ws *Workspace) finishBOMP(p sensing.Params) (*Result, error) {
+	sel, coef, diag, err := ws.greedyFinish()
 	if err != nil {
 		return nil, err
 	}
-
 	res := &ws.res
 	*res = Result{
 		Iterations:    len(sel),
@@ -71,6 +94,8 @@ func (ws *Workspace) BOMP(m sensing.Matrix, y linalg.Vector, opt Options) (*Resu
 		ModeTrace:     diag.modeTrace,
 		ResidualTrace: diag.residualTrace,
 	}
+	ws.selOut = append(ws.selOut[:0], sel...)
+	res.Selection = ws.selOut
 	// Split the bias coefficient from the outlier coefficients.
 	b := 0.0
 	ws.support = ws.support[:0]
@@ -138,108 +163,176 @@ func (ws *Workspace) KnownModeOMP(m sensing.Matrix, y linalg.Vector, mode float6
 	return res, nil
 }
 
-// greedy is the shared OMP column-selection loop (paper Algorithm 2).
-// It returns the selected column indices (in selection order) and their
-// least-squares coefficients, both aliasing workspace storage. modeFn,
-// when non-nil and opt.TraceMode is set, converts the running
-// coefficients into a mode estimate per iteration.
-func (ws *Workspace) greedy(d dictionary, y linalg.Vector, m int, opt Options,
-	modeFn func(z linalg.Vector, idx []int) float64) ([]int, linalg.Vector, diagnostics, error) {
+// greedyState is the loop-invariant context of one greedy run, kept as
+// a workspace field so cold, warm-started and batched drivers can all
+// step the SAME algorithm: the cold path alternates correlate/step in a
+// local loop, while the batch engine interleaves steps of many
+// workspaces between shared correlation passes. Splitting the loop this
+// way is what makes warm-start bit-identity provable — the replay path
+// runs greedyStep itself, so it cannot diverge from the cold algorithm,
+// only from the cost of computing its inputs.
+type greedyState struct {
+	d      dictionary
+	opt    Options
+	modeFn func(z linalg.Vector, idx []int) float64
 
-	var diag diagnostics
-	maxIter := opt.MaxIterations
+	maxIter  int
+	yNorm    float64
+	tol      float64
+	prevNorm float64
+
+	done bool
+	err  error
+	diag diagnostics
+}
+
+// clampMaxIter applies the engine's iteration-budget clamps; predict
+// (warm.go) must agree with greedyInit on this exactly.
+func clampMaxIter(maxIter, m, size int) int {
 	if maxIter <= 0 || maxIter > m {
 		maxIter = m
 	}
-	if maxIter > d.size() {
-		maxIter = d.size()
+	if maxIter > size {
+		maxIter = size
 	}
+	return maxIter
+}
+
+// greedyInit resets the workspace for a run of the greedy loop
+// (paper Algorithm 2) on dictionary d and measurement y.
+func (ws *Workspace) greedyInit(d dictionary, y linalg.Vector, m int, opt Options,
+	modeFn func(z linalg.Vector, idx []int) float64) {
+
+	st := &ws.st
+	*st = greedyState{d: d, opt: opt, modeFn: modeFn}
+	st.maxIter = clampMaxIter(opt.MaxIterations, m, d.size())
 
 	if ws.qr == nil {
 		ws.qr = linalg.NewIncrementalQR(m)
 	} else {
 		ws.qr.Reset(m)
 	}
-	qr := ws.qr
-	qr.SetTarget(y)
-	yNorm := y.Norm2()
-	if yNorm == 0 {
-		return nil, nil, diag, nil // zero measurement: zero vector
-	}
-	tol := opt.residualTol() * yNorm
+	ws.qr.SetTarget(y)
+	st.yNorm = y.Norm2()
+	st.prevNorm = st.yNorm
+	st.diag.residual = st.yNorm // final norm if nothing gets selected
 
 	ws.masked.reset(d.size())
 	ws.selected = ws.selected[:0]
 	ws.residual = ensureVec(ws.residual, m)
 	copy(ws.residual, y)
-	prevNorm := yNorm
-	diag.residual = yNorm // final norm if nothing gets selected
 
-	for len(ws.selected) < maxIter {
-		ws.corr = d.correlate(ws.residual, ws.corr)
-		// Select the best column not already in (or rejected from) the
-		// basis. A rank-deficient rejection only marks the column and
-		// re-runs the argmax on the SAME correlations — the residual did
-		// not change, so re-correlating (as a naive loop restart would)
-		// would redo the O(M·N) step for an identical answer.
-		appended := false
-		for {
-			best, bestAbs := argMaxAbsMasked(ws.corr, ws.masked)
-			if best < 0 || bestAbs <= 1e-14*yNorm {
-				break // nothing correlates: residual is (numerically) zero
-			}
-			ws.colBuf = d.col(best, ws.colBuf)
-			if _, err := qr.Append(ws.colBuf); err != nil {
-				if errors.Is(err, linalg.ErrRankDeficient) {
-					// Column numerically inside current span; never pick it again.
-					ws.masked.set(best)
-					continue
-				}
-				return nil, nil, diag, err
-			}
-			ws.selected = append(ws.selected, best)
-			ws.masked.set(best)
-			appended = true
-			break
-		}
-		if !appended {
-			break
-		}
+	if st.yNorm == 0 || st.maxIter < 1 {
+		st.done = true // zero measurement: zero vector
+		return
+	}
+	st.tol = opt.residualTol() * st.yNorm
+}
 
-		ws.residual = qr.Residual(ws.residual)
-		norm := qr.ResidualNorm()
-		diag.residual = norm
-		if opt.TraceResidual {
-			diag.residualTrace = append(diag.residualTrace, norm)
+// greedyStep consumes the correlation vector in ws.corr — one iteration
+// of the greedy loop: argmax, QR append, residual update, stop checks.
+// The caller (cold loop, scripted replay, or batch driver) is
+// responsible for ws.corr holding Φᵀr for the CURRENT ws.residual.
+func (ws *Workspace) greedyStep() {
+	st := &ws.st
+	qr := ws.qr
+	// Select the best column not already in (or rejected from) the
+	// basis. A rank-deficient rejection only marks the column and
+	// re-runs the argmax on the SAME correlations — the residual did
+	// not change, so re-correlating (as a naive loop restart would)
+	// would redo the O(M·N) step for an identical answer.
+	appended := false
+	for {
+		best, bestAbs := argMaxAbsMasked(ws.corr, ws.masked)
+		if best < 0 || bestAbs <= 1e-14*st.yNorm {
+			break // nothing correlates: residual is (numerically) zero
 		}
-		if opt.TraceMode && modeFn != nil {
-			z, err := qr.SolveInto(ws.coef)
-			if err != nil {
-				return nil, nil, diag, err
+		ws.colBuf = st.d.col(best, ws.colBuf)
+		if _, err := qr.Append(ws.colBuf); err != nil {
+			if errors.Is(err, linalg.ErrRankDeficient) {
+				// Column numerically inside current span; never pick it again.
+				ws.masked.set(best)
+				continue
 			}
-			ws.coef = z
-			diag.modeTrace = append(diag.modeTrace, modeFn(z, ws.selected))
+			st.err = err
+			st.done = true
+			return
 		}
-		if norm <= tol {
-			break
+		ws.selected = append(ws.selected, best)
+		ws.masked.set(best)
+		appended = true
+		break
+	}
+	if !appended {
+		st.done = true
+		return
+	}
+
+	ws.residual = qr.Residual(ws.residual)
+	norm := qr.ResidualNorm()
+	st.diag.residual = norm
+	if st.opt.TraceResidual {
+		st.diag.residualTrace = append(st.diag.residualTrace, norm)
+	}
+	if st.opt.TraceMode && st.modeFn != nil {
+		z, err := qr.SolveInto(ws.coef)
+		if err != nil {
+			st.err = err
+			st.done = true
+			return
 		}
-		// §5: floating-point drift makes the residual stop decreasing long
-		// before the iteration budget on real data; cut the run there.
-		if !opt.DisableEarlyStop && norm >= prevNorm*(1-opt.stallRelTol()) {
-			diag.stalled = true
-			break
-		}
-		prevNorm = norm
+		ws.coef = z
+		st.diag.modeTrace = append(st.diag.modeTrace, st.modeFn(z, ws.selected))
+	}
+	if norm <= st.tol {
+		st.done = true
+		return
+	}
+	// §5: floating-point drift makes the residual stop decreasing long
+	// before the iteration budget on real data; cut the run there.
+	if !st.opt.DisableEarlyStop && norm >= st.prevNorm*(1-st.opt.stallRelTol()) {
+		st.diag.stalled = true
+		st.done = true
+		return
+	}
+	st.prevNorm = norm
+	if len(ws.selected) >= st.maxIter {
+		st.done = true
+	}
+}
+
+// greedyFinish solves the least-squares system for the selected columns.
+// It returns the selection order and coefficients, both aliasing
+// workspace storage.
+func (ws *Workspace) greedyFinish() ([]int, linalg.Vector, diagnostics, error) {
+	st := &ws.st
+	if st.err != nil {
+		return nil, nil, st.diag, st.err
 	}
 	if len(ws.selected) == 0 {
-		return nil, nil, diag, nil
+		return nil, nil, st.diag, nil
 	}
-	z, err := qr.SolveInto(ws.coef)
+	z, err := ws.qr.SolveInto(ws.coef)
 	if err != nil {
-		return nil, nil, diag, err
+		return nil, nil, st.diag, err
 	}
 	ws.coef = z
-	return ws.selected, z, diag, nil
+	return ws.selected, z, st.diag, nil
+}
+
+// greedy is the cold driver of the shared OMP column-selection loop:
+// correlate against the current residual, step, repeat. modeFn, when
+// non-nil and opt.TraceMode is set, converts the running coefficients
+// into a mode estimate per iteration.
+func (ws *Workspace) greedy(d dictionary, y linalg.Vector, m int, opt Options,
+	modeFn func(z linalg.Vector, idx []int) float64) ([]int, linalg.Vector, diagnostics, error) {
+
+	ws.greedyInit(d, y, m, opt, modeFn)
+	for !ws.st.done {
+		ws.corr = d.correlate(ws.residual, ws.corr)
+		ws.greedyStep()
+	}
+	return ws.greedyFinish()
 }
 
 // bitset is a fixed-universe set of column indices.

@@ -1,0 +1,261 @@
+package sensing
+
+import (
+	"math"
+	"runtime/debug"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/xrand"
+)
+
+func randResiduals(rng *xrand.RNG, q, m int) []linalg.Vector {
+	rs := make([]linalg.Vector, q)
+	for i := range rs {
+		rs[i] = make(linalg.Vector, m)
+		for j := range rs[i] {
+			rs[i][j] = rng.NormFloat64()
+		}
+	}
+	// One zero residual so zero-skip branches are exercised.
+	if q > 1 {
+		clear(rs[q-1])
+	}
+	return rs
+}
+
+// TestCorrelateBlockMatchesSerial pins the batch-correlation contract
+// for every ensemble: each dsts[q] out of CorrelateBlock must be
+// bit-identical to an independent Correlate(rs[q], ·) call. This is the
+// foundation the batched recovery engine's bit-identity proof rests on.
+func TestCorrelateBlockMatchesSerial(t *testing.T) {
+	p := Params{M: 64, N: 700, Seed: 99}
+	dense, err := NewDense(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := NewSeeded(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparseRademacher(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srht, err := NewSRHT(Params{M: 64, N: 512, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats := []struct {
+		name string
+		m    Matrix
+	}{
+		{"Dense", dense},
+		{"Seeded", seeded},
+		{"SparseRademacher", sparse},
+		{"SRHT", srht}, // no batch kernel: exercises the fallback loop
+		{"ColumnCache(Seeded)", NewColumnCache(seeded, 0)},
+		{"ColumnCache(SRHT)", NewColumnCache(srht, 0)},
+	}
+	rng := xrand.New(7)
+	for _, tc := range mats {
+		t.Run(tc.name, func(t *testing.T) {
+			mp := tc.m.Params()
+			for _, q := range []int{1, 3, 8} {
+				rs := randResiduals(rng, q, mp.M)
+				dsts := make([]linalg.Vector, q)
+				for i := range dsts {
+					dsts[i] = make(linalg.Vector, mp.N)
+				}
+				CorrelateBlock(tc.m, rs, dsts)
+				for i := range rs {
+					want := tc.m.Correlate(rs[i], nil)
+					for j := range want {
+						if math.Float64bits(dsts[i][j]) != math.Float64bits(want[j]) {
+							t.Fatalf("q=%d residual %d col %d: batch %v vs serial %v (bit-exact)",
+								q, i, j, dsts[i][j], want[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCorrelateBlockPanics checks the shared validation layer.
+func TestCorrelateBlockPanics(t *testing.T) {
+	p := Params{M: 8, N: 32, Seed: 1}
+	m, err := NewSeeded(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("count mismatch", func() {
+		CorrelateBlock(m, make([]linalg.Vector, 2), make([]linalg.Vector, 1))
+	})
+	expectPanic("residual length", func() {
+		CorrelateBlock(m, []linalg.Vector{make(linalg.Vector, 7)}, []linalg.Vector{make(linalg.Vector, 32)})
+	})
+	expectPanic("output length", func() {
+		CorrelateBlock(m, []linalg.Vector{make(linalg.Vector, 8)}, []linalg.Vector{make(linalg.Vector, 31)})
+	})
+}
+
+// TestDenseMeasureSparseScatterZeroAlloc pins the fix for the escaping
+// scratch buffer: the dense-scatter path must run allocation-free in
+// steady state, GC or not — the scatter buffer is a dedicated field,
+// not pool-backed storage the collector can reclaim.
+func TestDenseMeasureSparseScatterZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	p := Params{M: 16, N: 512, Seed: 5}
+	d, err := NewDense(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense enough to trip the scatter path: > 64 and > N/16 indices.
+	idx := make([]int, 128)
+	vals := make([]float64, 128)
+	rng := xrand.New(3)
+	for k := range idx {
+		idx[k] = rng.Intn(p.N)
+		vals[k] = rng.NormFloat64()
+	}
+	dst := make(linalg.Vector, p.M)
+	d.MeasureSparse(idx, vals, dst) // warm the buffer
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(50, func() {
+		d.MeasureSparse(idx, vals, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("scatter MeasureSparse allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestColumnCacheBitIdentical checks cached columns are exact copies of
+// the inner matrix's, on both the miss and the hit path.
+func TestColumnCacheBitIdentical(t *testing.T) {
+	p := Params{M: 32, N: 300, Seed: 17}
+	inner, err := NewSeeded(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewColumnCache(inner, 16)
+	for pass := 0; pass < 2; pass++ {
+		for _, j := range []int{0, 5, 13, 299, 5} {
+			got := c.Col(j, nil)
+			want := inner.Col(j, nil)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("pass %d col %d row %d: %v vs %v", pass, j, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", hits, misses)
+	}
+}
+
+// TestColumnCacheEvictionBound checks the cache never exceeds its
+// capacity and keeps serving correct columns across evictions.
+func TestColumnCacheEvictionBound(t *testing.T) {
+	p := Params{M: 8, N: 256, Seed: 23}
+	inner, err := NewSeeded(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capCols = 10
+	c := NewColumnCache(inner, capCols)
+	buf := make(linalg.Vector, p.M)
+	want := make(linalg.Vector, p.M)
+	for round := 0; round < 3; round++ {
+		for j := 0; j < p.N; j++ {
+			buf = c.Col(j, buf)
+			want = inner.Col(j, want)
+			for i := range want {
+				if math.Float64bits(buf[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("round %d col %d: cache diverged", round, j)
+				}
+			}
+			if n := c.Len(); n > capCols {
+				t.Fatalf("cache holds %d columns, cap %d", n, capCols)
+			}
+		}
+	}
+	if n := c.Len(); n != capCols {
+		t.Fatalf("cache holds %d columns after sweeps, want full cap %d", n, capCols)
+	}
+}
+
+// TestColumnCacheDefaultCap checks the memory-bounded default.
+func TestColumnCacheDefaultCap(t *testing.T) {
+	inner, err := NewSeeded(Params{M: 64, N: 100000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewColumnCache(inner, 0)
+	if c.max != columnCacheBudget/64 {
+		t.Fatalf("default cap %d, want %d", c.max, columnCacheBudget/64)
+	}
+	inner2, err := NewSeeded(Params{M: 1 << 16, N: 100000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 := NewColumnCache(inner2, 0); c2.max != 64 {
+		t.Fatalf("huge-M default cap %d, want floor 64", c2.max)
+	}
+}
+
+// TestColumnCacheDelegation checks the pass-through methods reach the
+// inner matrix unchanged.
+func TestColumnCacheDelegation(t *testing.T) {
+	p := Params{M: 16, N: 128, Seed: 41}
+	inner, err := NewSeeded(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewColumnCache(inner, 8)
+	if c.Params() != p {
+		t.Fatalf("Params not delegated")
+	}
+	rng := xrand.New(9)
+	x := make(linalg.Vector, p.N)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := c.Measure(x, nil)
+	y2 := inner.Measure(x, nil)
+	if !y1.Equal(y2, 0) {
+		t.Fatalf("Measure not delegated bit-exactly")
+	}
+	r := make(linalg.Vector, p.M)
+	for i := range r {
+		r[i] = rng.NormFloat64()
+	}
+	d1 := c.Correlate(r, nil)
+	d2 := inner.Correlate(r, nil)
+	if !d1.Equal(d2, 0) {
+		t.Fatalf("Correlate not delegated bit-exactly")
+	}
+	e1 := c.ExtensionColumn(nil)
+	e2 := inner.ExtensionColumn(nil)
+	if !e1.Equal(e2, 0) {
+		t.Fatalf("ExtensionColumn not delegated bit-exactly")
+	}
+	s1 := c.MeasureSparse([]int{3, 7}, []float64{1.5, -2}, nil)
+	s2 := inner.MeasureSparse([]int{3, 7}, []float64{1.5, -2}, nil)
+	if !s1.Equal(s2, 0) {
+		t.Fatalf("MeasureSparse not delegated bit-exactly")
+	}
+}

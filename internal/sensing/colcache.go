@@ -1,0 +1,142 @@
+package sensing
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"csoutlier/internal/linalg"
+)
+
+// ColumnCache wraps a regenerating Matrix (Seeded, SparseRademacher)
+// with a bounded store of materialized columns, so the recovery path's
+// repeated Col fetches — a standing query's support columns recur every
+// fold generation, and the warm-start engine fetches each hint column
+// for both its prediction pass and its replay — pay the O(M) PRNG
+// regeneration once instead of every time.
+//
+// Cached columns are written once and never mutated, so concurrent
+// readers copy them without holding the lock. Eviction is FIFO over a
+// fixed ring: column popularity in recovery is dominated by the current
+// standing supports, which re-insert themselves naturally after a sweep.
+//
+// Whole-matrix kernels (Measure, Correlate, …) delegate to the inner
+// matrix untouched — they regenerate columns in streaming order and
+// would only thrash the cache. ColumnCache also forwards CorrelateBatch
+// when the inner matrix has one, so wrapping never costs batching.
+type ColumnCache struct {
+	inner Matrix
+	max   int
+
+	mu   sync.Mutex
+	cols map[int]linalg.Vector // immutable once inserted
+	ring []int                 // insertion ring of cached column ids
+	pos  int                   // next ring slot to evict
+
+	hits, misses atomic.Int64
+}
+
+// columnCacheBudget bounds the default cache footprint: max columns is
+// chosen so cached floats stay under ~1M entries (8 MB) per matrix.
+const columnCacheBudget = 1 << 20
+
+// NewColumnCache wraps inner with a store of at most maxCols columns.
+// maxCols <= 0 picks a default bounded by memory (≈8 MB), never fewer
+// than 64 columns.
+func NewColumnCache(inner Matrix, maxCols int) *ColumnCache {
+	if maxCols <= 0 {
+		maxCols = columnCacheBudget / inner.Params().M
+		if maxCols < 64 {
+			maxCols = 64
+		}
+	}
+	return &ColumnCache{
+		inner: inner,
+		max:   maxCols,
+		cols:  make(map[int]linalg.Vector),
+	}
+}
+
+// Params implements Matrix.
+func (c *ColumnCache) Params() Params { return c.inner.Params() }
+
+// Col implements Matrix from the cache, regenerating and inserting on a
+// miss. Values are bit-identical to the inner matrix's — the cache
+// stores exact copies.
+func (c *ColumnCache) Col(j int, dst linalg.Vector) linalg.Vector {
+	c.mu.Lock()
+	if col, ok := c.cols[j]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		dst = ensureExact(dst, len(col))
+		copy(dst, col)
+		return dst
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	dst = c.inner.Col(j, dst)
+	stored := make(linalg.Vector, len(dst))
+	copy(stored, dst)
+	c.mu.Lock()
+	if _, ok := c.cols[j]; !ok {
+		if len(c.ring) < c.max {
+			c.ring = append(c.ring, j)
+		} else {
+			delete(c.cols, c.ring[c.pos])
+			c.ring[c.pos] = j
+			c.pos++
+			if c.pos == c.max {
+				c.pos = 0
+			}
+		}
+		c.cols[j] = stored
+	}
+	c.mu.Unlock()
+	return dst
+}
+
+// Measure implements Matrix by delegation.
+func (c *ColumnCache) Measure(x, dst linalg.Vector) linalg.Vector {
+	return c.inner.Measure(x, dst)
+}
+
+// MeasureSparse implements Matrix by delegation.
+func (c *ColumnCache) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
+	return c.inner.MeasureSparse(idx, vals, dst)
+}
+
+// Correlate implements Matrix by delegation.
+func (c *ColumnCache) Correlate(r, dst linalg.Vector) linalg.Vector {
+	return c.inner.Correlate(r, dst)
+}
+
+// CorrelateBatch forwards the inner matrix's batch kernel, falling back
+// to per-residual correlation when it has none.
+func (c *ColumnCache) CorrelateBatch(rs, dsts []linalg.Vector) {
+	if bc, ok := c.inner.(BatchCorrelator); ok {
+		bc.CorrelateBatch(rs, dsts)
+		return
+	}
+	for q := range rs {
+		c.inner.Correlate(rs[q], dsts[q])
+	}
+}
+
+// ExtensionColumn implements Matrix by delegation (inner caches φ₀).
+func (c *ColumnCache) ExtensionColumn(dst linalg.Vector) linalg.Vector {
+	return c.inner.ExtensionColumn(dst)
+}
+
+// Stats reports cache hits and misses since construction.
+func (c *ColumnCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports how many columns are currently cached.
+func (c *ColumnCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cols)
+}
+
+var _ Matrix = (*ColumnCache)(nil)
+var _ BatchCorrelator = (*ColumnCache)(nil)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package sensing
+
+const raceEnabled = false

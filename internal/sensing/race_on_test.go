@@ -1,0 +1,7 @@
+//go:build race
+
+package sensing
+
+// raceEnabled reports that this binary was built with -race, whose
+// instrumentation allocates and breaks exact AllocsPerRun pinning.
+const raceEnabled = true

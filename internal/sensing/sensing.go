@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"csoutlier/internal/linalg"
 	"csoutlier/internal/xrand"
@@ -77,6 +78,45 @@ type Matrix interface {
 	ExtensionColumn(dst linalg.Vector) linalg.Vector
 }
 
+// BatchCorrelator is the optional Matrix extension behind the batched
+// recovery engine: correlate a whole *block* of residuals against every
+// column in one pass over the matrix. For the regenerating ensembles the
+// win is amortization — each column is regenerated once and dotted with
+// every residual, so q residuals cost one regeneration pass instead of
+// q; for Dense it is the blocked GEMM's cache reuse (linalg.MulMatT).
+//
+// Contract: len(rs) == len(dsts), every rs[q] has length M and every
+// dsts[q] length N, and dsts[q] comes out bit-identical to
+// Correlate(rs[q], dsts[q]) — batching must never change recovery bits.
+type BatchCorrelator interface {
+	CorrelateBatch(rs, dsts []linalg.Vector)
+}
+
+// CorrelateBlock correlates a residual block through m's batch kernel
+// when it implements BatchCorrelator, and by per-residual Correlate
+// calls otherwise (SRHT: the fast transform is per-residual anyway).
+// Each dsts[q] must be pre-sized to length N; results are bit-identical
+// to per-residual Correlate either way.
+func CorrelateBlock(m Matrix, rs, dsts []linalg.Vector) {
+	p := m.Params()
+	if len(rs) != len(dsts) {
+		panic(fmt.Sprintf("sensing: CorrelateBlock %d residuals, %d outputs", len(rs), len(dsts)))
+	}
+	for q := range rs {
+		if len(rs[q]) != p.M || len(dsts[q]) != p.N {
+			panic(fmt.Sprintf("sensing: CorrelateBlock residual %d/output %d, want M=%d/N=%d",
+				len(rs[q]), len(dsts[q]), p.M, p.N))
+		}
+	}
+	if bc, ok := m.(BatchCorrelator); ok && len(rs) > 1 {
+		bc.CorrelateBatch(rs, dsts)
+		return
+	}
+	for q := range rs {
+		m.Correlate(rs[q], dsts[q])
+	}
+}
+
 // fillColumn writes the canonical column j for params p into dst, which
 // must have length p.M. Entries are N(0, 1/M). The generator lives on
 // the stack (value constructors), so regenerating a column performs no
@@ -99,10 +139,18 @@ func copyCached(phi0 linalg.Vector, dst linalg.Vector) linalg.Vector {
 
 // Dense is a fully materialized measurement matrix.
 type Dense struct {
-	p       Params
-	mat     *linalg.Matrix // M×N row-major
-	phi0    linalg.Vector  // cached extension column, computed at NewDense
-	scatter vecPool        // pooled N-length scatter buffers for MeasureSparse
+	p    Params
+	mat  *linalg.Matrix // M×N row-major
+	phi0 linalg.Vector  // cached extension column, computed at NewDense
+
+	// scatterBuf is the dedicated N-length scatter buffer for
+	// MeasureSparse, claimed and returned with atomics. Unlike the pooled
+	// fallback it survives GC cycles, which is what keeps the steady-state
+	// scatter path at 0 allocs/op: sync.Pool entries are reclaimed at GC,
+	// and the occasional 64 KB re-allocation showed up as a steady
+	// ~200 B/op in BenchmarkKernelDenseMeasureSparse.
+	scatterBuf atomic.Pointer[linalg.Vector]
+	scatter    vecPool // overflow pool when callers contend for scatterBuf
 }
 
 // NewDense builds and stores the full matrix. Memory: M·N·8 bytes.
@@ -131,7 +179,27 @@ func NewDense(p Params) (*Dense, error) {
 		d.phi0[i] = s
 	}
 	d.phi0.Scale(1 / math.Sqrt(float64(p.N)))
+	scatter := make(linalg.Vector, p.N)
+	d.scatterBuf.Store(&scatter)
 	return d, nil
+}
+
+// getScatter claims the dedicated scatter buffer, falling back to the
+// pool when another MeasureSparse call holds it.
+func (d *Dense) getScatter() *linalg.Vector {
+	if v := d.scatterBuf.Swap(nil); v != nil {
+		return v
+	}
+	return d.scatter.get(d.p.N)
+}
+
+// putScatter returns a scatter buffer, restoring the dedicated slot
+// first so the uncontended path never depends on pool survival.
+func (d *Dense) putScatter(v *linalg.Vector) {
+	if d.scatterBuf.CompareAndSwap(nil, v) {
+		return
+	}
+	d.scatter.put(v)
 }
 
 // Params implements Matrix.
@@ -158,7 +226,7 @@ func (d *Dense) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) lina
 	n, m := d.p.N, d.p.M
 	dst = ensure(dst, m)
 	if len(idx) > 64 && len(idx) > n/16 {
-		xp := d.scatter.get(n)
+		xp := d.getScatter()
 		x := *xp
 		clear(x)
 		for k, j := range idx {
@@ -168,7 +236,7 @@ func (d *Dense) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) lina
 			x[j] += vals[k]
 		}
 		d.mat.MulVec(x, dst)
-		d.scatter.put(xp)
+		d.putScatter(xp)
 		return dst
 	}
 	data := d.mat.Data
@@ -198,6 +266,13 @@ func (d *Dense) Correlate(r, dst linalg.Vector) linalg.Vector {
 // parallel-correlation ablation bench and the equivalence tests.
 func (d *Dense) CorrelateSerial(r, dst linalg.Vector) linalg.Vector {
 	return d.mat.MulVecT(r, dst)
+}
+
+// CorrelateBatch implements BatchCorrelator via the blocked GEMM: one
+// pass over the matrix serves the whole residual block, bit-identical
+// per residual to Correlate.
+func (d *Dense) CorrelateBatch(rs, dsts []linalg.Vector) {
+	d.mat.ParallelMulMatT(rs, dsts)
 }
 
 // ExtensionColumn implements Matrix from the per-matrix cache.
@@ -358,6 +433,34 @@ func (s *Seeded) correlateRange(r, dst linalg.Vector, lo, hi int) {
 	for j := lo; j < hi; j++ {
 		fillColumn(s.p, j, *col)
 		dst[j] = col.Dot(r)
+	}
+	s.cols.put(col)
+}
+
+// CorrelateBatch implements BatchCorrelator: each column is regenerated
+// ONCE and dotted with every residual, so a q-residual block costs one
+// M·N regeneration pass plus q·N dot products — the regeneration, which
+// dominates Seeded's correlate cost, is amortized across the block.
+// Each dsts[q][j] comes from the same fillColumn bits and the same Dot
+// as Correlate(rs[q], ·), so results are bit-identical per residual.
+func (s *Seeded) CorrelateBatch(rs, dsts []linalg.Vector) {
+	if kernelWorkers() < 2 || s.p.N < 2*seededCorrChunk {
+		s.correlateBatchRange(rs, dsts, 0, s.p.N)
+		return
+	}
+	parallelRanges(s.p.N, seededCorrChunk, func(lo, hi int) {
+		s.correlateBatchRange(rs, dsts, lo, hi)
+	})
+}
+
+// correlateBatchRange fills dsts[q][j] = <φ_j, rs[q]> for j in [lo, hi).
+func (s *Seeded) correlateBatchRange(rs, dsts []linalg.Vector, lo, hi int) {
+	col := s.cols.get(s.p.M)
+	for j := lo; j < hi; j++ {
+		fillColumn(s.p, j, *col)
+		for q, r := range rs {
+			dsts[q][j] = col.Dot(r)
+		}
 	}
 	s.cols.put(col)
 }

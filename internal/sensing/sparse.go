@@ -174,6 +174,48 @@ func (s *SparseRademacher) correlateRange(r, dst linalg.Vector, lo, hi int) {
 	}
 }
 
+// CorrelateBatch implements BatchCorrelator: each column's (row, sign)
+// stream is drawn ONCE and applied to every residual, amortizing the
+// PRNG work that dominates this ensemble's correlate. Per residual the
+// accumulation order over draws is exactly correlateRange's, so each
+// dsts[q] is bit-identical to Correlate(rs[q], ·).
+func (s *SparseRademacher) CorrelateBatch(rs, dsts []linalg.Vector) {
+	if kernelWorkers() < 2 || s.p.N < 2*sparseCorrChunk {
+		s.correlateBatchRange(rs, dsts, 0, s.p.N)
+		return
+	}
+	parallelRanges(s.p.N, sparseCorrChunk, func(lo, hi int) {
+		s.correlateBatchRange(rs, dsts, lo, hi)
+	})
+}
+
+// correlateBatchRange fills dsts[q][j] = <φ_j, rs[q]> for j in [lo, hi).
+func (s *SparseRademacher) correlateBatchRange(rs, dsts []linalg.Vector, lo, hi int) {
+	root := xrand.NewValue(s.p.Seed ^ sparseSalt)
+	inv := 1 / math.Sqrt(float64(s.d))
+	m, d := s.p.M, s.d
+	sums := make([]float64, len(rs))
+	for j := lo; j < hi; j++ {
+		rng := root.SplitValue(uint64(j) + 1)
+		clear(sums)
+		for t := 0; t < d; t++ {
+			row := rng.Intn(m)
+			if rng.Uint64()&1 == 0 {
+				for q, r := range rs {
+					sums[q] -= inv * r[row]
+				}
+			} else {
+				for q, r := range rs {
+					sums[q] += inv * r[row]
+				}
+			}
+		}
+		for q := range dsts {
+			dsts[q][j] = sums[q]
+		}
+	}
+}
+
 // ExtensionColumn implements Matrix. φ₀ is computed once per matrix and
 // cached; every later call is an O(M) copy.
 func (s *SparseRademacher) ExtensionColumn(dst linalg.Vector) linalg.Vector {

@@ -83,6 +83,12 @@ type AggStats struct {
 	Rotations   int64
 	CacheHits   int64 // outlier queries answered from the recovery cache
 	CacheMisses int64 // outlier queries that ran BOMP
+	// WarmStarts counts recoveries (missed or piggybacked) that reused a
+	// previous generation's selection order as the BOMP warm hint.
+	WarmStarts int64
+	// BatchRefreshes counts stale standing queries refreshed by
+	// piggybacking on another query's recovery batch.
+	BatchRefreshes int64
 }
 
 // nodeState is the per-node fold state: the idempotency tracker for the
@@ -111,11 +117,24 @@ type queryResult struct {
 	gen    uint64
 	seq    uint64
 	report *csoutlier.Report
+	// sel is the recovery engine's selection order for this result — the
+	// warm hint for re-solving the same query on the next generation.
+	sel []int
+	// standing marks a query that has been asked more than once. Standing
+	// queries are the ones worth refreshing speculatively: when any query
+	// misses, stale standing entries piggyback on its batched recovery
+	// pass, so a dashboard's query set is served by one block correlation
+	// per generation instead of one cold solve each.
+	standing bool
 }
 
 // cacheCap bounds the recovery cache. Standing queries are few; the cap
 // only guards against a caller sweeping many distinct (span, k) tuples.
 const cacheCap = 64
+
+// batchRefreshCap bounds how many stale standing queries piggyback on
+// one cache miss's batched recovery pass.
+const batchRefreshCap = 16
 
 // Aggregator is the server half of the streaming service. It folds
 // window-tagged deltas from any number of nodes into a global
@@ -149,9 +168,9 @@ type Aggregator struct {
 	// used to leave a mistagged cache entry.
 	testHookBeforeSnapshot func()
 
-	// qmu serializes queries so they can share one range-sketch buffer.
-	qmu     sync.Mutex
-	qsketch csoutlier.Sketch
+	// qmu serializes queries so they can share the range-sketch buffers.
+	qmu       sync.Mutex
+	qsketches []csoutlier.Sketch // one per batched recovery slot, grown on demand
 
 	ingest chan ingestItem
 
@@ -181,7 +200,6 @@ func NewAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions) (*Aggregator,
 		window:     1,
 		nodes:      make(map[string]*nodeState),
 		cache:      make(map[queryKey]queryResult),
-		qsketch:    sk.ZeroSketch(),
 		ingest:     make(chan ingestItem, opts.QueueDepth),
 		conns:      make(map[net.Conn]struct{}),
 		quit:       make(chan struct{}),
@@ -494,6 +512,10 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 	m := a.metrics
 	a.mu.Lock()
 	if r, ok := a.cache[key]; ok && r.gen == a.gen {
+		// A repeat of a cached query marks it standing: it is worth
+		// refreshing speculatively when some other query misses.
+		r.standing = true
+		a.cache[key] = r
 		a.mu.Unlock()
 		if m != nil {
 			m.cacheHits.Inc()
@@ -507,32 +529,86 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 	if hook := a.testHookBeforeSnapshot; hook != nil {
 		hook()
 	}
-	// Snapshot the span and read its fold generation under one a.mu
-	// critical section — apply holds a.mu across both the sketch addition
-	// and the gen bump, so the pair is consistent: the cache entry is
-	// tagged with exactly the generation whose data it holds. (Tagging
-	// with a generation read before the snapshot — the old code — let a
-	// fold land in between, leaving an entry that contained the new data
-	// but was tagged stale, so an identical follow-up query recomputed.)
-	// BOMP itself still runs outside every mutex: recovery is the
-	// expensive part and must not stall ingest. A fold racing the
-	// recovery leaves the entry honestly stale-tagged and the next query
-	// recomputes.
+	// Snapshot every batched span and read the fold generation under one
+	// a.mu critical section — apply holds a.mu across both the sketch
+	// addition and the gen bump, so the pair is consistent: each cache
+	// entry is tagged with exactly the generation whose data it holds.
+	// (Tagging with a generation read before the snapshot — the old code
+	// — let a fold land in between, leaving an entry that contained the
+	// new data but was tagged stale, so an identical follow-up query
+	// recomputed.) Recovery itself still runs outside every mutex: it is
+	// the expensive part and must not stall ingest. A fold racing the
+	// recovery leaves the entries honestly stale-tagged and the next
+	// query recomputes.
+	//
+	// The missing query does not recover alone: stale standing queries
+	// piggyback on its batched recovery pass, each warm-started from its
+	// previous generation's selection order, so a dashboard's whole query
+	// set is served by one block correlation per fold generation.
+	type slot struct {
+		key      queryKey
+		warm     []int
+		standing bool
+	}
 	a.mu.Lock()
 	gen := a.gen
-	err := a.ws.RangeInto(fromAge, toAge, a.qsketch)
+	slots := make([]slot, 1, 1+batchRefreshCap)
+	slots[0] = slot{key: key}
+	if prev, ok := a.cache[key]; ok {
+		// The entry exists but is stale — this query has now been asked
+		// twice, so it is standing, and its old selection is the warm hint.
+		slots[0].warm = prev.sel
+		slots[0].standing = true
+	}
+	for k2, v := range a.cache {
+		if len(slots) >= 1+batchRefreshCap {
+			break
+		}
+		if k2 != key && v.standing && v.gen != a.gen {
+			slots = append(slots, slot{key: k2, warm: v.sel, standing: true})
+		}
+	}
+	for len(a.qsketches) < len(slots) {
+		a.qsketches = append(a.qsketches, a.sk.ZeroSketch())
+	}
+	kept := slots[:0]
+	queries := make([]csoutlier.BatchQuery, 0, len(slots))
+	for _, sl := range slots {
+		sketch := a.qsketches[len(kept)]
+		if err := a.ws.RangeInto(sl.key.fromAge, sl.key.toAge, sketch); err != nil {
+			if sl.key == key {
+				a.mu.Unlock()
+				return nil, err
+			}
+			continue // a piggybacked span no longer resolves; drop it
+		}
+		kept = append(kept, sl)
+		queries = append(queries, csoutlier.BatchQuery{Global: sketch, K: sl.key.k, Warm: sl.warm})
+	}
 	a.mu.Unlock()
+	reports, err := a.sk.DetectBatch(queries)
 	if err != nil {
 		return nil, err
 	}
-	report, err := a.sk.Detect(a.qsketch, k)
-	if err != nil {
-		return nil, err
+	if m != nil {
+		for _, sl := range kept {
+			if len(sl.warm) > 0 {
+				m.warmStarts.Inc()
+			}
+		}
+		m.batchRefreshes.Add(int64(len(kept) - 1))
 	}
 	a.mu.Lock()
-	a.insertCacheLocked(key, queryResult{gen: gen, report: report})
+	for i, sl := range kept {
+		a.insertCacheLocked(sl.key, queryResult{
+			gen:      gen,
+			report:   reports[i],
+			sel:      reports[i].Selection,
+			standing: sl.standing,
+		})
+	}
 	a.mu.Unlock()
-	return report, nil
+	return reports[0], nil
 }
 
 // insertCacheLocked stores a recovery result and bounds the cache.
@@ -606,6 +682,8 @@ func (a *Aggregator) Stats() AggStats {
 	s.Rotations = m.rotations.Value()
 	s.CacheHits = m.cacheHits.Value()
 	s.CacheMisses = m.cacheMisses.Value()
+	s.WarmStarts = m.warmStarts.Value()
+	s.BatchRefreshes = m.batchRefreshes.Value()
 	return s
 }
 

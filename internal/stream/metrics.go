@@ -22,9 +22,11 @@ type aggMetrics struct {
 	dropped     *obs.Counter
 	rejected    *obs.Counter
 	rotations   *obs.Counter
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
-	foldSeconds *obs.Histogram
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	warmStarts     *obs.Counter
+	batchRefreshes *obs.Counter
+	foldSeconds    *obs.Histogram
 
 	nodeLag      *obs.GaugeVec
 	nodeLastSeen *obs.GaugeVec
@@ -56,6 +58,10 @@ func newAggMetrics(reg *obs.Registry, a *Aggregator) *aggMetrics {
 			"window rotations"),
 		cacheHits:   cache.With("hit"),
 		cacheMisses: cache.With("miss"),
+		warmStarts: reg.Counter("stream_warm_starts_total",
+			"outlier recoveries warm-started from a previous generation's selection"),
+		batchRefreshes: reg.Counter("stream_batch_refreshes_total",
+			"stale standing queries refreshed by piggybacking on another query's recovery batch"),
 		foldSeconds: reg.Histogram("stream_fold_seconds",
 			"wall time folding one delta frame into the window store (sampled: first frame, then 1 in 16)", obs.LatencyBuckets()),
 		nodeLag: reg.GaugeVec("stream_node_lag_windows",

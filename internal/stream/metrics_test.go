@@ -140,6 +140,107 @@ func TestCacheEvictionKeepsHotQueries(t *testing.T) {
 	}
 }
 
+// TestOutliersWarmBatchRefresh pins the batched standing-query path: a
+// query becomes standing once it repeats; when any query misses after a
+// fold, stale standing entries piggyback on its recovery batch (warm-
+// started from their previous selection) and come back as cache hits,
+// bit-identical to a cold Detect; one-off queries are never piggybacked.
+func TestOutliersWarmBatchRefresh(t *testing.T) {
+	sk := testSketcher(t, 256, 96, 19)
+	agg, err := NewAggregator(sk, AggregatorOptions{Windows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close(context.Background())
+
+	fold := func(seq uint64, key string, v float64) {
+		t.Helper()
+		ack := agg.apply(pushRequest{
+			Kind: pushDelta, Node: "n1", Epoch: 1,
+			Window: 1, Seq: seq, Payload: testDelta(t, sk, key, v),
+		})
+		if !ack.Applied {
+			t.Fatalf("fold seq %d not applied: %+v", seq, ack)
+		}
+	}
+	query := func(k int) *csoutlier.Report {
+		t.Helper()
+		r, err := agg.Outliers(0, 0, k)
+		if err != nil {
+			t.Fatalf("Outliers(k=%d): %v", k, err)
+		}
+		return r
+	}
+	queries := 0
+	count := func(k int) *csoutlier.Report { queries++; return query(k) }
+
+	fold(1, "key004", 900)
+	// k=3 and k=5 repeat → standing. k=7 is a one-off.
+	count(3)
+	count(3)
+	count(5)
+	count(5)
+	count(7)
+
+	fold(2, "key009", -700) // everything cached is now stale
+
+	// A brand-new query misses; the two stale standing queries must ride
+	// its batch, warm-started; the one-off must not.
+	before := agg.Stats()
+	count(9)
+	after := agg.Stats()
+	if got := after.BatchRefreshes - before.BatchRefreshes; got != 2 {
+		t.Fatalf("batch refreshes = %d, want 2 (the two standing queries)", got)
+	}
+	if got := after.WarmStarts - before.WarmStarts; got < 2 {
+		t.Fatalf("warm starts = %d, want >= 2", got)
+	}
+
+	// The piggybacked refresh makes the standing queries cache hits at
+	// the new generation — and the served report must be bit-identical to
+	// a cold Detect over the same span.
+	before = agg.Stats()
+	refreshed := count(3)
+	after = agg.Stats()
+	if after.CacheHits-before.CacheHits != 1 {
+		t.Fatal("standing query not refreshed by the batch: cache miss")
+	}
+	rs, err := agg.RangeSketch(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sk.Detect(rs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refreshed.Outliers) != len(cold.Outliers) {
+		t.Fatalf("refreshed report has %d outliers, cold %d", len(refreshed.Outliers), len(cold.Outliers))
+	}
+	for i := range cold.Outliers {
+		if refreshed.Outliers[i] != cold.Outliers[i] {
+			t.Fatalf("outlier %d: refreshed %+v != cold %+v", i, refreshed.Outliers[i], cold.Outliers[i])
+		}
+	}
+	if refreshed.Iterations != cold.Iterations || refreshed.Residual != cold.Residual {
+		t.Fatalf("refreshed diagnostics (%d, %v) != cold (%d, %v)",
+			refreshed.Iterations, refreshed.Residual, cold.Iterations, cold.Residual)
+	}
+
+	// The one-off was not refreshed: asking again is a miss.
+	before = agg.Stats()
+	count(7)
+	after = agg.Stats()
+	if after.CacheMisses-before.CacheMisses != 1 {
+		t.Fatal("one-off query was piggybacked: refresh batch must only carry standing queries")
+	}
+
+	// Every query is exactly one hit or one miss — the soak identity.
+	s := agg.Stats()
+	if s.CacheHits+s.CacheMisses != int64(queries) {
+		t.Fatalf("hits %d + misses %d != %d queries", s.CacheHits, s.CacheMisses, queries)
+	}
+}
+
 // TestBackoffDelayDeterministic pins the seedable-jitter contract: the
 // same RNG seed yields the same backoff sequence (so a simulation soak
 // replays reconnect timing), different seeds diverge, and every delay

@@ -8,7 +8,8 @@
 # Tier-1 (build, vet, full test suite) is the floor every change must
 # clear; the race pass covers the concurrency-heavy transport/collector,
 # the streaming push service (internal/stream), AND the column-parallel
-# sensing/recovery kernels; the simulation smoke runs randomized
+# sensing kernels, blocked GEMM (internal/linalg), and batched recovery
+# engine (internal/recovery); the simulation smoke runs randomized
 # end-to-end scenarios against the exact oracle (see internal/simtest),
 # then the streaming soak drives the push pipeline through chaos TCP
 # proxies (connection kills, a node crash/restart, duplicate deltas)
@@ -37,7 +38,7 @@ case "${1:-}" in
 	;;
 esac
 
-echo "== race: full suite (includes parallel kernel equivalence tests) =="
+echo "== race: full suite (includes parallel kernel + batched recovery equivalence tests) =="
 go test -race ./...
 
 echo "== simulation smoke: randomized end-to-end scenarios =="
@@ -72,7 +73,7 @@ if [ -z "$url" ]; then
 	exit 1
 fi
 "$tmp/obscheck" -url "$url" -require \
-	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,recovery_detect_seconds
+	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total
 "$tmp/obscheck" -url "${url%/metrics}/healthz" -health
 
 echo "verify: OK"
