@@ -59,14 +59,16 @@ func main() {
 		idleTO   = flag.Duration("idle-timeout", 0, "drop connections idle for this long (0 = never)")
 		reqTO    = flag.Duration("request-timeout", 0, "per-request handling budget (0 = unbounded)")
 
-		push      = flag.String("push", "", "stream deltas to a csstreamd aggregator at this address")
-		pushEvery = flag.Duration("push-every", 2*time.Second, "delay between delta flushes in -push mode (also the heartbeat period once the slice is drained)")
-		pushChunk = flag.Int("push-chunk", 256, "keys observed per delta flush in -push mode")
-		m         = flag.Int("m", 0, "measurement count M for -push mode (must match the daemon)")
-		seed      = flag.Uint64("seed", 42, "consensus measurement seed for -push mode")
-		ensemble  = flag.String("ensemble", "gaussian", "measurement ensemble for -push mode: gaussian, sparse or srht")
-		sparseD   = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
-		epoch     = flag.Uint64("epoch", 1, "incarnation number for -push mode; bump after a restart so the daemon resets this node's sequence space")
+		push       = flag.String("push", "", "stream deltas to a csstreamd aggregator at this address")
+		pushEvery  = flag.Duration("push-every", 2*time.Second, "delay between delta flushes in -push mode (also the heartbeat period once the slice is drained)")
+		pushChunk  = flag.Int("push-chunk", 256, "keys observed per delta flush in -push mode")
+		m          = flag.Int("m", 0, "measurement count M for -push mode (must match the daemon)")
+		seed       = flag.Uint64("seed", 42, "consensus measurement seed for -push mode")
+		ensemble   = flag.String("ensemble", "gaussian", "measurement ensemble for -push mode: gaussian, sparse or srht")
+		sparseD    = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
+		epoch      = flag.Uint64("epoch", 1, "incarnation number for -push mode; bump after a restart so the daemon resets this node's sequence space")
+		pushShed   = flag.Int("push-shed-at", 8, "pending-frame threshold where new captures merge into the newest pending frame instead of queueing (admission control; 0 = refuse at the queue cap instead)")
+		pushRetain = flag.Int("push-retain", 1024, "acked frames retained for replay after an aggregator restore (-1 = none: a restore may silently lose recent deltas)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address (empty = off)")
 	)
@@ -125,7 +127,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("csnode: %v", err)
 		}
-		go pushSlice(sk, dict, x, *push, *name, *epoch, *pushEvery, *pushChunk, reg)
+		go pushSlice(sk, dict, x, *push, *name, stream.NodeOptions{
+			Epoch:  *epoch,
+			ShedAt: *pushShed,
+			Retain: *pushRetain,
+		}, *pushEvery, *pushChunk, reg)
 	}
 	if err := cluster.ServeWith(ln, node, cluster.ServeOptions{
 		IdleTimeout:    *idleTO,
@@ -141,12 +147,12 @@ func main() {
 // and this node's window view stay fresh. Runs alongside the pull API:
 // the same slice is available both ways.
 func pushSlice(sk *csoutlier.Sketcher, dict *keydict.Dictionary, x linalg.Vector,
-	addr, name string, epoch uint64, pushEvery time.Duration, pushChunk int, reg *obs.Registry) {
+	addr, name string, opts stream.NodeOptions, pushEvery time.Duration, pushChunk int, reg *obs.Registry) {
 	if pushChunk <= 0 {
 		pushChunk = 256
 	}
 	ctx := context.Background()
-	n, err := stream.Dial(ctx, addr, sk, name, stream.NodeOptions{Epoch: epoch})
+	n, err := stream.Dial(ctx, addr, sk, name, opts)
 	if err != nil {
 		log.Printf("csnode: push: %v (streaming disabled, pull API unaffected)", err)
 		return
@@ -154,7 +160,7 @@ func pushSlice(sk *csoutlier.Sketcher, dict *keydict.Dictionary, x linalg.Vector
 	if reg != nil {
 		n.RegisterMetrics(reg)
 	}
-	log.Printf("csnode: pushing to %s as %q (epoch %d, window %d)", addr, name, epoch, n.Window())
+	log.Printf("csnode: pushing to %s as %q (epoch %d, window %d)", addr, name, opts.Epoch, n.Window())
 	inChunk := 0
 	for idx, v := range x {
 		if v == 0 {
@@ -176,8 +182,8 @@ func pushSlice(sk *csoutlier.Sketcher, dict *keydict.Dictionary, x linalg.Vector
 		log.Printf("csnode: push flush: %v", err)
 	}
 	s := n.Stats()
-	log.Printf("csnode: slice streamed: %d deltas captured, %d applied, %d redials; heartbeating every %v",
-		s.Captured, s.Applied, s.Redials, pushEvery)
+	log.Printf("csnode: slice streamed: %d deltas captured (%d shed-merged), %d applied, %d replayed, %d redials; heartbeating every %v",
+		s.Captured, s.Merged, s.Applied, s.Replayed, s.Redials, pushEvery)
 	for {
 		time.Sleep(pushEvery)
 		if err := n.Sync(ctx); err != nil {

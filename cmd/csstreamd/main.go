@@ -49,6 +49,9 @@ func main() {
 		reportEvery = flag.Duration("report-every", time.Minute, "how often to print the outlier/liveness report (0 = only on shutdown)")
 		idleTO      = flag.Duration("idle-timeout", 5*time.Minute, "drop node connections silent for this long (0 = never)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address (empty = off)")
+		snapPath    = flag.String("snapshot", "", "durable snapshot file: written atomically on rotation/shutdown, restored on boot (empty = in-memory only)")
+		snapEvery   = flag.Duration("snapshot-every", 0, "also snapshot on this wall-clock period (requires -snapshot)")
+		evictAfter  = flag.Duration("evict-after", 0, "evict nodes not heard from for this long; their dedup state is tombstoned, not lost (0 = never)")
 	)
 	flag.Parse()
 	if *dictPath == "" || *m <= 0 {
@@ -78,15 +81,34 @@ func main() {
 
 	reg := obs.NewRegistry()
 	sk.Instrument(reg)
-	agg, err := stream.NewAggregator(sk, stream.AggregatorOptions{
-		Windows:     *windows,
-		WindowEvery: *windowEvery,
-		QueueDepth:  *queue,
-		IdleTimeout: *idleTO,
-		Metrics:     reg,
-	})
-	if err != nil {
-		log.Fatalf("csstreamd: %v", err)
+	opts := stream.AggregatorOptions{
+		Windows:       *windows,
+		WindowEvery:   *windowEvery,
+		QueueDepth:    *queue,
+		IdleTimeout:   *idleTO,
+		Metrics:       reg,
+		SnapshotPath:  *snapPath,
+		SnapshotEvery: *snapEvery,
+		EvictAfter:    *evictAfter,
+	}
+	var agg *stream.Aggregator
+	if *snapPath != "" {
+		if snap, serr := stream.LoadSnapshot(*snapPath); serr == nil {
+			agg, err = stream.RestoreAggregator(sk, opts, snap)
+			if err != nil {
+				log.Fatalf("csstreamd: restore %s: %v", *snapPath, err)
+			}
+			log.Printf("csstreamd restored snapshot %s: window %d, epoch %d, %d nodes",
+				*snapPath, agg.Stats().Window, agg.Epoch(), len(agg.Nodes()))
+		} else if !os.IsNotExist(serr) {
+			log.Fatalf("csstreamd: snapshot %s: %v", *snapPath, serr)
+		}
+	}
+	if agg == nil {
+		agg, err = stream.NewAggregator(sk, opts)
+		if err != nil {
+			log.Fatalf("csstreamd: %v", err)
+		}
 	}
 	if *metricsAddr != "" {
 		mln, err := obs.Serve(*metricsAddr, reg, agg.Ready)
@@ -144,10 +166,13 @@ func report(agg *stream.Aggregator, k, span int) {
 	log.Printf("window %d: %d deltas applied (%d dup, %d dropped, %d rejected), %d rotations, cache %d/%d hit, %d warm starts, %d batch refreshes",
 		s.Window, s.Applied, s.Duplicates, s.Dropped, s.Rejected, s.Rotations, s.CacheHits, s.CacheHits+s.CacheMisses,
 		s.WarmStarts, s.BatchRefreshes)
+	log.Printf("  epoch %d membership v%d: %d joins, %d leaves, %d evictions, %d tombstones; %d shed frames (%d extra folds); %d snapshots (%d errors, last %dB)",
+		s.AggEpoch, s.Membership, s.Joins, s.Leaves, s.Evictions, s.Tombstones,
+		s.ShedFrames, s.ShedFolds, s.Snapshots, s.SnapshotErrors, s.SnapshotBytes)
 	for _, ns := range agg.Nodes() {
-		log.Printf("  node %-12s epoch=%d lag=%d applied=%d dup=%d dropped=%d rejected=%d restarts=%d last-seen=%s",
-			ns.Node, ns.Epoch, ns.Lag, ns.Applied, ns.Duplicates, ns.Dropped, ns.Rejected, ns.Restarts,
-			time.Since(ns.LastSeen).Round(time.Millisecond))
+		log.Printf("  node %-12s %-7s epoch=%d lag=%d applied=%d dup=%d dropped=%d rejected=%d restarts=%d shed=%d/%d last-seen=%s",
+			ns.Node, ns.State, ns.Epoch, ns.Lag, ns.Applied, ns.Duplicates, ns.Dropped, ns.Rejected, ns.Restarts,
+			ns.ShedFrames, ns.ShedFolds, time.Since(ns.LastSeen).Round(time.Millisecond))
 	}
 	if s.Applied == 0 {
 		return

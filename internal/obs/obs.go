@@ -237,6 +237,29 @@ func (f *family) get(values ...string) *series {
 	return s
 }
 
+// remove drops the series for the given label values, so a family does
+// not leak series for entities that no longer exist (an evicted
+// streaming node, say). Removing an absent series is a no-op.
+func (f *family) remove(values ...string) bool {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s: %d label values for %d labels %v", f.name, len(values), len(f.labels), f.labels))
+	}
+	k := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[k]; !ok {
+		return false
+	}
+	delete(f.series, k)
+	for i, key := range f.keys {
+		if key == k {
+			f.keys = append(f.keys[:i], f.keys[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // Registry is a named collection of metric families. The zero value is
 // not usable; use NewRegistry. All methods are safe for concurrent use.
 //
@@ -357,6 +380,13 @@ func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 
 // With returns the gauge for the given label values.
 func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values...).gauge }
+
+// Remove drops the series for the given label values so the family does
+// not export series for entities that no longer exist (an evicted
+// streaming node, say). Returns whether a series was removed; removing
+// an absent series is a no-op. Any *Gauge previously obtained via With
+// stays usable but is detached: writes to it no longer render.
+func (v *GaugeVec) Remove(values ...string) bool { return v.f.remove(values...) }
 
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }

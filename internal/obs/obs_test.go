@@ -118,6 +118,40 @@ func TestVecSeries(t *testing.T) {
 	}
 }
 
+func TestGaugeVecRemove(t *testing.T) {
+	r := NewRegistry()
+	gv := r.GaugeVec("node_lag", "per node lag", "node")
+	gv.With("n1").Set(1)
+	gv.With("n2").Set(2)
+	if !gv.Remove("n1") {
+		t.Fatal("Remove(n1) = false, want true")
+	}
+	if gv.Remove("n1") {
+		t.Fatal("second Remove(n1) = true, want false (already gone)")
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `node="n1"`) {
+		t.Fatalf("removed series still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `node_lag{node="n2"} 2`) {
+		t.Fatalf("surviving series lost:\n%s", out)
+	}
+	// A removed series can be recreated; the new series starts fresh.
+	gv.With("n1").Set(7)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `node_lag{node="n1"} 7`) {
+		t.Fatalf("recreated series not rendered:\n%s", b.String())
+	}
+	mustPanic(t, func() { gv.Remove("n1", "extra") })
+}
+
 func TestGaugeFuncAndOnScrape(t *testing.T) {
 	r := NewRegistry()
 	depth := 0
@@ -176,15 +210,15 @@ func TestLabelEscaping(t *testing.T) {
 
 func TestLintRejectsMalformed(t *testing.T) {
 	for _, bad := range []string{
-		"",                                  // empty exposition
-		"1metric 3\n",                       // bad metric name
-		"metric\n",                          // no value
-		"metric notanumber\n",               // bad value
-		"metric{l=x} 3\n",                   // unquoted label value
-		"metric{l=\"v\" 3\n",                // unterminated label block
-		"# TYPE m wat\nm 1\n",               // unknown type
+		"",                    // empty exposition
+		"1metric 3\n",         // bad metric name
+		"metric\n",            // no value
+		"metric notanumber\n", // bad value
+		"metric{l=x} 3\n",     // unquoted label value
+		"metric{l=\"v\" 3\n",  // unterminated label block
+		"# TYPE m wat\nm 1\n", // unknown type
 		"# TYPE m counter\n# TYPE m gauge\nm 1\n", // duplicate TYPE
-		"metric{bad-label=\"v\"} 1\n",       // bad label name
+		"metric{bad-label=\"v\"} 1\n",             // bad label name
 	} {
 		if err := LintString(bad); err == nil {
 			t.Errorf("Lint accepted malformed exposition %q", bad)

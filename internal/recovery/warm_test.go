@@ -141,9 +141,9 @@ func TestBOMPWarmBitIdenticalAllHints(t *testing.T) {
 				wrong[0] = 1
 			}
 			hints = append(hints,
-				wrong,                       // diverges at step 0 or 1
-				[]int{p.N + 5, -3},          // out of range: truncated to empty
-				[]int{3, 3, 3},              // duplicates: truncated after one
+				wrong,              // diverges at step 0 or 1
+				[]int{p.N + 5, -3}, // out of range: truncated to empty
+				[]int{3, 3, 3},     // duplicates: truncated after one
 				append(append([]int(nil), cold.Selection...), cold.Selection[0]), // stale tail
 			)
 

@@ -239,34 +239,53 @@ func (s StreamScenario) BuildStream() (*StreamData, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
-	rng := xrand.New(s.Seed)
-	d := &StreamData{Keys: make([]string, s.N)}
+	splits := make([]int, s.W)
+	for w := range splits {
+		splits[w] = s.L
+	}
+	return buildStreamData(s.Seed, s.N, s.S, s.Mode, s.Noise, splits), nil
+}
+
+// buildStreamData materializes W windows of globally S-sparse data
+// around a per-window bias, splitting window w among splits[w] nodes —
+// the shared world builder for every streaming scenario flavor (the
+// churn flavor varies the split count as membership changes).
+func buildStreamData(seed uint64, n, sOut int, mode, noise float64, splits []int) *StreamData {
+	rng := xrand.New(seed)
+	d := &StreamData{Keys: make([]string, n)}
 	for i := range d.Keys {
 		d.Keys[i] = fmt.Sprintf("key%06d", i)
 	}
-	d.Support = pickDistinct(rng, s.N, s.S)
+	d.Support = pickDistinct(rng, n, sOut)
 	mag0 := 100 + 900*rng.Float64()
-	for w := 0; w < s.W; w++ {
-		mode := s.Mode * (0.6 + 0.8*rng.Float64())
-		global := make(linalg.Vector, s.N)
-		global.Fill(mode)
+	for w := 0; w < len(splits); w++ {
+		wmode := mode * (0.6 + 0.8*rng.Float64())
+		global := make(linalg.Vector, n)
+		global.Fill(wmode)
 		for _, j := range d.Support {
 			mag := mag0 * (1 + 9*rng.Float64())
 			if rng.Float64() < 0.5 {
 				mag = -mag
 			}
-			global[j] = mode + mag
+			global[j] = wmode + mag
 		}
 		d.WinGlobal = append(d.WinGlobal, global)
-		d.WinSlices = append(d.WinSlices, workload.SplitZeroSumNoise(global, s.L, s.Noise, rng.Uint64()))
+		d.WinSlices = append(d.WinSlices, workload.SplitZeroSumNoise(global, splits[w], noise, rng.Uint64()))
 	}
-	return d, nil
+	return d
 }
 
 // spanOracle answers the k-outlier query on the exact concatenation of
 // windows [wFrom, wTo] (1-based, inclusive).
 func (s StreamScenario) spanOracle(d *StreamData, wFrom, wTo int) (*OracleAnswer, error) {
-	sum := make(linalg.Vector, s.N)
+	return streamSpanOracle(s.N, s.K, d, wFrom, wTo)
+}
+
+// streamSpanOracle is the centralized exact oracle all streaming
+// scenario flavors share: the k-outlier answer on the concatenation of
+// windows [wFrom, wTo] (1-based, inclusive).
+func streamSpanOracle(n, k int, d *StreamData, wFrom, wTo int) (*OracleAnswer, error) {
+	sum := make(linalg.Vector, n)
 	for w := wFrom; w <= wTo; w++ {
 		sum.Add(d.WinGlobal[w-1])
 	}
@@ -275,7 +294,7 @@ func (s StreamScenario) spanOracle(d *StreamData, wFrom, wTo int) (*OracleAnswer
 		return nil, fmt.Errorf("simtest: span [%d,%d] has no exact majority mode", wFrom, wTo)
 	}
 	ans := &OracleAnswer{Mode: mode}
-	for _, kv := range outlier.TopK(sum, mode, s.K) {
+	for _, kv := range outlier.TopK(sum, mode, k) {
 		ans.Outliers = append(ans.Outliers, csoutlier.Outlier{Key: d.Keys[kv.Index], Value: kv.Value})
 	}
 	return ans, nil
@@ -424,7 +443,7 @@ func RunStream(scn StreamScenario, data *StreamData) (*StreamResult, error) {
 					return nil, err
 				}
 				st := nodes[l].Stats()
-				ack, err := dupClient.PushDelta(NodeID(l), 1, st.Window, st.Seq, payload)
+				ack, err := dupClient.PushDelta(NodeID(l), 1, st.Window, st.Seq, 1, payload)
 				if err != nil {
 					closeAgg()
 					return nil, fmt.Errorf("simtest: dup injection: %w", err)

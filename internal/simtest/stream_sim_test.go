@@ -2,15 +2,54 @@ package simtest
 
 import (
 	"flag"
+	"strings"
 	"testing"
 )
 
 var (
 	flagStreamCount = flag.Int("sim.streamcount", 3,
 		"number of randomized streaming scenarios TestStreamSoak checks")
+	flagStreamCrashCount = flag.Int("sim.streamcrashcount", 2,
+		"number of randomized crash-restart scenarios TestStreamCrashSoak checks")
+	flagStreamChurnCount = flag.Int("sim.streamchurncount", 2,
+		"number of randomized membership-churn scenarios TestStreamChurnSoak checks")
 	flagStreamReplay = flag.String("sim.streamreplay", "",
-		"replay a single streaming scenario from its failure-message one-liner")
+		"replay a single streaming scenario from its failure-message one-liner (any flavor: stream1, streamcrash1, streamchurn1)")
 )
+
+// replayStream dispatches a -sim.streamreplay line to the scenario
+// flavor its prefix names. Returns false if the line is empty.
+func replayStream(t *testing.T, line string) bool {
+	t.Helper()
+	if line == "" {
+		return false
+	}
+	prefix, _, _ := strings.Cut(strings.TrimSpace(line), " ")
+	var err error
+	switch prefix {
+	case "stream1":
+		var scn StreamScenario
+		if scn, err = ParseStreamScenario(line); err == nil {
+			err = CheckStreamScenario(scn)
+		}
+	case "streamcrash1":
+		var scn StreamCrashScenario
+		if scn, err = ParseStreamCrashScenario(line); err == nil {
+			err = CheckStreamCrashScenario(scn)
+		}
+	case "streamchurn1":
+		var scn StreamChurnScenario
+		if scn, err = ParseStreamChurnScenario(line); err == nil {
+			err = CheckStreamChurnScenario(scn)
+		}
+	default:
+		t.Fatalf("unknown streaming scenario prefix %q", prefix)
+	}
+	if err != nil {
+		t.Fatalf("replayed streaming scenario failed: %v\nscenario: %s", err, line)
+	}
+	return true
+}
 
 // TestStreamSoak is the streaming harness entry point: randomized
 // scenarios of ≥ 4 nodes pushing window-tagged deltas through chaos TCP
@@ -20,14 +59,7 @@ var (
 // sequence, and the recovered outliers must match the exact centralized
 // oracle for every contiguous window span.
 func TestStreamSoak(t *testing.T) {
-	if *flagStreamReplay != "" {
-		scn, err := ParseStreamScenario(*flagStreamReplay)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := CheckStreamScenario(scn); err != nil {
-			t.Fatalf("replayed streaming scenario failed: %v\nscenario: %s", err, scn)
-		}
+	if replayStream(t, *flagStreamReplay) {
 		return
 	}
 	base := baseSeed(t)
@@ -42,6 +74,125 @@ func TestStreamSoak(t *testing.T) {
 					i, base, err, scn)
 			}
 		})
+	}
+}
+
+// TestStreamCrashSoak is the crash-restart soak entry point: randomized
+// scenarios where the aggregator snapshots at a seeded flush, dies at a
+// later one, and is restored on a fresh listener with node-side
+// retention replay. Post-restore windows must be bit-identical to an
+// uninterrupted run and the outliers exact on every window span.
+func TestStreamCrashSoak(t *testing.T) {
+	if replayStream(t, *flagStreamReplay) {
+		return
+	}
+	base := baseSeed(t)
+	for i := 0; i < *flagStreamCrashCount; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			scn := GenerateStreamCrash(base, i)
+			if err := CheckStreamCrashScenario(scn); err != nil {
+				t.Fatalf("crash-restart scenario %d (base seed %d) failed: %v\n"+
+					"replay: go test ./internal/simtest -run 'TestStreamCrashSoak$' -sim.streamreplay='%s'",
+					i, base, err, scn)
+			}
+		})
+	}
+}
+
+// TestStreamChurnSoak is the membership-churn soak entry point:
+// randomized scenarios with a mid-run join, a graceful leave, and a
+// liveness eviction with resurrection, all under chaos TCP. Windows
+// must stay bit-identical to the shadow fold and every capture must be
+// folded exactly once (conservation).
+func TestStreamChurnSoak(t *testing.T) {
+	if replayStream(t, *flagStreamReplay) {
+		return
+	}
+	base := baseSeed(t)
+	for i := 0; i < *flagStreamChurnCount; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			scn := GenerateStreamChurn(base, i)
+			if err := CheckStreamChurnScenario(scn); err != nil {
+				t.Fatalf("membership-churn scenario %d (base seed %d) failed: %v\n"+
+					"replay: go test ./internal/simtest -run 'TestStreamChurnSoak$' -sim.streamreplay='%s'",
+					i, base, err, scn)
+			}
+		})
+	}
+}
+
+// TestStreamCrashScenarioRoundTrip covers the crash scenario codec and
+// generator invariants.
+func TestStreamCrashScenarioRoundTrip(t *testing.T) {
+	base := baseSeed(t)
+	for i := 0; i < 8; i++ {
+		scn := GenerateStreamCrash(base, i)
+		if err := scn.validate(); err != nil {
+			t.Fatalf("scenario %d invalid: %v\n%s", i, err, scn)
+		}
+		if scn.CrashFlush <= scn.SnapFlush {
+			t.Fatalf("scenario %d loses no frames: %s", i, scn)
+		}
+		rt, err := ParseStreamCrashScenario(scn.String())
+		if err != nil {
+			t.Fatalf("scenario %d does not round-trip: %v\n%s", i, err, scn)
+		}
+		if rt.String() != scn.String() {
+			t.Fatalf("round-trip changed scenario:\n%s\n%s", scn, rt)
+		}
+		if b := GenerateStreamCrash(base, i); b.String() != scn.String() {
+			t.Fatalf("GenerateStreamCrash(%d, %d) not deterministic", base, i)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"stream1 seed=1",
+		"streamcrash1 seed=1 n=200 s=3 l=4 w=2 m=80 k=3 mode=50 ens=gaussian cw=9 snap=0 crash=1 proxy=4096:8192",  // crash window
+		"streamcrash1 seed=1 n=200 s=3 l=4 w=2 m=80 k=3 mode=50 ens=gaussian cw=1 snap=3 crash=3 proxy=4096:8192",  // nothing lost
+		"streamcrash1 seed=1 n=200 s=3 l=4 w=2 m=80 k=3 mode=50 ens=gaussian cw=1 snap=0 crash=12 proxy=4096:8192", // flush out of range
+	} {
+		if _, err := ParseStreamCrashScenario(bad); err == nil {
+			t.Errorf("ParseStreamCrashScenario(%q) accepted invalid line", bad)
+		}
+	}
+}
+
+// TestStreamChurnScenarioRoundTrip covers the churn scenario codec and
+// generator invariants.
+func TestStreamChurnScenarioRoundTrip(t *testing.T) {
+	base := baseSeed(t)
+	for i := 0; i < 8; i++ {
+		scn := GenerateStreamChurn(base, i)
+		if err := scn.validate(); err != nil {
+			t.Fatalf("scenario %d invalid: %v\n%s", i, err, scn)
+		}
+		if scn.LeaveNode == scn.EvictNode {
+			t.Fatalf("scenario %d leave and evict coincide: %s", i, scn)
+		}
+		rt, err := ParseStreamChurnScenario(scn.String())
+		if err != nil {
+			t.Fatalf("scenario %d does not round-trip: %v\n%s", i, err, scn)
+		}
+		if rt.String() != scn.String() {
+			t.Fatalf("round-trip changed scenario:\n%s\n%s", scn, rt)
+		}
+		if b := GenerateStreamChurn(base, i); b.String() != scn.String() {
+			t.Fatalf("GenerateStreamChurn(%d, %d) not deterministic", base, i)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"streamchurn1 seed=1 n=200 s=3 l=4 w=3 m=80 k=3 mode=50 ens=gaussian join=1 leave=0@1 evict=1@1 proxy=4096:8192", // join before window 2
+		"streamchurn1 seed=1 n=200 s=3 l=4 w=3 m=80 k=3 mode=50 ens=gaussian join=2 leave=0@1 evict=0@1 proxy=4096:8192", // leave==evict
+		"streamchurn1 seed=1 n=200 s=3 l=4 w=3 m=80 k=3 mode=50 ens=gaussian join=2 leave=0@1 evict=1@3 proxy=4096:8192", // evict too late
+	} {
+		if _, err := ParseStreamChurnScenario(bad); err == nil {
+			t.Errorf("ParseStreamChurnScenario(%q) accepted invalid line", bad)
+		}
 	}
 }
 

@@ -25,7 +25,7 @@ type chaosProxy struct {
 	min    int64 // per-connection byte budget bounds, both directions
 	max    int64
 
-	mu  sync.Mutex // guards rng (accept loop only, but Stop races)
+	mu  sync.Mutex // guards rng and target (accept loop vs Retarget/Stop)
 	rng *xrand.RNG
 
 	kills  int64 // connections killed on budget exhaustion (atomic)
@@ -54,6 +54,16 @@ func (p *chaosProxy) Addr() string { return p.ln.Addr().String() }
 
 // Kills returns how many connections died on an exhausted budget.
 func (p *chaosProxy) Kills() int64 { return atomic.LoadInt64(&p.kills) }
+
+// Retarget points future connections at a new upstream address — the
+// crash-restart harness uses it when a restored aggregator comes back
+// on a fresh listener. Live relays keep their old upstream; the node's
+// next redial lands on the new one.
+func (p *chaosProxy) Retarget(target string) {
+	p.mu.Lock()
+	p.target = target
+	p.mu.Unlock()
+}
 
 // Stop closes the listener and every live relay.
 func (p *chaosProxy) Stop() {
@@ -90,7 +100,10 @@ func (p *chaosProxy) accept() {
 func (p *chaosProxy) relay(conn net.Conn, budget int64) {
 	defer p.wg.Done()
 	defer conn.Close()
-	up, err := net.Dial("tcp", p.target)
+	p.mu.Lock()
+	target := p.target
+	p.mu.Unlock()
+	up, err := net.Dial("tcp", target)
 	if err != nil {
 		return
 	}

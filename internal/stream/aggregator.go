@@ -38,6 +38,30 @@ type AggregatorOptions struct {
 	// /metrics. nil = a private registry (Stats still works; nothing is
 	// exported).
 	Metrics *obs.Registry
+	// SnapshotPath, when non-empty, makes the aggregator durable: it
+	// writes an atomic-rename snapshot (window ring + dedup books +
+	// membership) to this path after every rotation, on every
+	// SnapshotEvery tick, and on Close. On restart, restore with
+	// LoadSnapshot + RestoreAggregator.
+	SnapshotPath string
+	// SnapshotEvery, when positive, also writes snapshots on this
+	// wall-clock period (requires SnapshotPath).
+	SnapshotEvery time.Duration
+	// Durable forces durable ack semantics without a snapshot path: acks
+	// advance the nodes' Stable watermark only at CommitSnapshot, so
+	// nodes retain acked frames for replay. Implied by SnapshotPath;
+	// useful for in-memory snapshot/restore (tests, embedding).
+	Durable bool
+	// EvictAfter, when positive, evicts nodes not heard from for this
+	// long: their membership is retired into a tombstone (the dedup book
+	// survives, so a late frame still dedups) and their per-node metric
+	// series are dropped. 0 = never evict. Tests drive EvictIdle
+	// directly.
+	EvictAfter time.Duration
+	// AggEpoch is the aggregator's incarnation number (default 1).
+	// RestoreAggregator sets it to the snapshot's epoch + 1; nodes that
+	// see it increase replay their retained frames.
+	AggEpoch uint64
 }
 
 func (o AggregatorOptions) withDefaults() AggregatorOptions {
@@ -47,14 +71,34 @@ func (o AggregatorOptions) withDefaults() AggregatorOptions {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
 	}
+	if o.SnapshotPath != "" {
+		o.Durable = true
+	}
+	if o.AggEpoch == 0 {
+		o.AggEpoch = 1
+	}
 	return o
 }
+
+// Membership states of a node, as surfaced in NodeStatus.State.
+const (
+	// StateLive: the node is a current member.
+	StateLive = "live"
+	// StateLeft: the node announced a graceful leave (bye). Its dedup
+	// book is tombstoned: late retries still dedup, never refold.
+	StateLeft = "left"
+	// StateEvicted: the node went silent past the liveness deadline and
+	// was retired by the aggregator. Same tombstone semantics as a
+	// leave; a same-epoch reappearance resurrects the state intact.
+	StateEvicted = "evicted"
+)
 
 // NodeStatus is the aggregator's liveness/lag view of one streaming
 // node — the server-side counterpart of the pull path's
 // cluster.NodeHealth.
 type NodeStatus struct {
 	Node       string
+	State      string    // StateLive, StateLeft or StateEvicted
 	Epoch      uint64    // latest announced incarnation
 	LastSeen   time.Time // last frame (hello or delta) from the node
 	LastWindow uint64    // window tag of the node's latest applied delta
@@ -64,6 +108,13 @@ type NodeStatus struct {
 	Dropped    int64     // deltas acknowledged but older than the ring
 	Rejected   int64     // frames refused (stale epoch, corrupt payload, …)
 	Restarts   int64     // epoch bumps observed
+	// ShedFrames/ShedFolds count the node's applied merged frames and the
+	// extra local captures folded into them (the admission-control path).
+	ShedFrames int64
+	ShedFolds  int64
+	// Stable is the node's durable sequence watermark: every seq ≤ Stable
+	// of the current epoch survives an aggregator restore.
+	Stable uint64
 }
 
 // AggStats is a snapshot of aggregator-wide counters. Every counter is
@@ -89,14 +140,45 @@ type AggStats struct {
 	// BatchRefreshes counts stale standing queries refreshed by
 	// piggybacking on another query's recovery batch.
 	BatchRefreshes int64
+	// AggEpoch is the aggregator's incarnation (bumped on restore);
+	// Membership versions the member set (bumped on join/leave/evict).
+	AggEpoch   uint64
+	Membership uint64
+	// Joins/Leaves/Evictions count membership events; Tombstones is the
+	// current retired-state count.
+	Joins      int64
+	Leaves     int64
+	Evictions  int64
+	Tombstones int
+	// Snapshots/SnapshotErrors count snapshot writes; SnapshotBytes is
+	// the size of the last one.
+	Snapshots      int64
+	SnapshotErrors int64
+	SnapshotBytes  int64
+	// ShedFrames counts applied frames that were node-side merges of >1
+	// local capture; ShedFolds is the extra captures they carried
+	// (sum of folds−1). Applied + ShedFolds = captures folded.
+	ShedFrames int64
+	ShedFolds  int64
 }
 
 // nodeState is the per-node fold state: the idempotency tracker for the
-// node's current epoch plus its liveness counters.
+// node's current epoch plus its liveness counters. The same struct
+// lives on as a tombstone after a leave/eviction, so a late or replayed
+// frame from a retired node still dedups instead of refolding.
 type nodeState struct {
 	tracker seqTracker
 	status  NodeStatus
+	// stable is the durable sequence watermark acked to the node: in
+	// durable mode it advances only when a snapshot covering the seq is
+	// committed; otherwise it follows tracker.base (acked == durable).
+	stable uint64
 }
+
+// maxTombstones bounds retired-node state. Tombstones are tiny (a
+// tracker low-water mark plus counters), so the cap only guards a
+// pathological churn of distinct node names; eviction is FIFO.
+const maxTombstones = 1024
 
 // ingestItem is one delta frame queued for the folder.
 type ingestItem struct {
@@ -157,9 +239,13 @@ type Aggregator struct {
 	foldTick uint64      // frame counter for sampled fold timing; folder goroutine only
 
 	mu       sync.Mutex
-	window   uint64 // current window ID, from 1
-	gen      uint64 // bumped on every fold/rotation; versions the cache
-	nodes    map[string]*nodeState
+	window   uint64                // current window ID, from 1
+	gen      uint64                // bumped on every fold/rotation; versions the cache
+	epoch    uint64                // aggregator incarnation; bumped by RestoreAggregator
+	member   uint64                // membership version; bumped on join/leave/evict
+	nodes    map[string]*nodeState // live members
+	tombs    map[string]*nodeState // retired members (left/evicted)
+	tombFIFO []string              // tombstone insertion order, for the cap
 	cache    map[queryKey]queryResult
 	cacheSeq uint64 // insertion clock for cache eviction
 
@@ -183,6 +269,8 @@ type Aggregator struct {
 	handlersWG sync.WaitGroup
 	folderDone chan struct{}
 	rotateDone chan struct{}
+	snapDone   chan struct{}
+	evictDone  chan struct{}
 }
 
 // NewAggregator builds a streaming aggregator bound to the Sketcher
@@ -198,13 +286,17 @@ func NewAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions) (*Aggregator,
 		opts:       opts,
 		ws:         ws,
 		window:     1,
+		epoch:      opts.AggEpoch,
 		nodes:      make(map[string]*nodeState),
+		tombs:      make(map[string]*nodeState),
 		cache:      make(map[queryKey]queryResult),
 		ingest:     make(chan ingestItem, opts.QueueDepth),
 		conns:      make(map[net.Conn]struct{}),
 		quit:       make(chan struct{}),
 		folderDone: make(chan struct{}),
 		rotateDone: make(chan struct{}),
+		snapDone:   make(chan struct{}),
+		evictDone:  make(chan struct{}),
 	}
 	reg := opts.Metrics
 	if reg == nil {
@@ -216,6 +308,16 @@ func NewAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions) (*Aggregator,
 		go a.rotateLoop()
 	} else {
 		close(a.rotateDone)
+	}
+	if opts.SnapshotPath != "" && opts.SnapshotEvery > 0 {
+		go a.snapshotLoop()
+	} else {
+		close(a.snapDone)
+	}
+	if opts.EvictAfter > 0 {
+		go a.evictLoop()
+	} else {
+		close(a.evictDone)
 	}
 	return a, nil
 }
@@ -277,6 +379,8 @@ func (a *Aggregator) handle(conn net.Conn) {
 		switch req.Kind {
 		case pushHello:
 			ack = a.hello(req)
+		case pushBye:
+			ack = a.bye(req)
 		case pushDelta:
 			item := ingestItem{req: req, reply: make(chan Ack, 1)}
 			select {
@@ -295,30 +399,116 @@ func (a *Aggregator) handle(conn net.Conn) {
 	}
 }
 
-// hello registers/refreshes a node and returns the current window.
+// hello registers/refreshes a node and returns the current window. A
+// node the aggregator has never seen (or one coming back from a
+// tombstone) joins the membership here.
 func (a *Aggregator) hello(req pushRequest) Ack {
 	if m := a.metrics; m != nil {
 		m.hellos.Inc()
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	ack := Ack{Window: a.window, Status: StatusHello, AggEpoch: a.epoch}
 	ns, err := a.nodeLocked(req.Node, req.Epoch)
 	if err != nil {
-		return Ack{Err: err.Error(), Window: a.window, Status: StatusHello}
+		ack.Err = err.Error()
+		return ack
 	}
 	ns.status.LastSeen = time.Now()
-	return Ack{Window: a.window, Status: StatusHello}
+	ack.Stable = ns.stable
+	return ack
 }
 
-// nodeLocked returns the state for (node, epoch), creating it on first
-// contact and resetting the sequence tracker on an epoch bump. An epoch
-// older than the node's current one is rejected: the successor already
-// owns the sequence space.
+// bye retires a node's membership gracefully. The dedup book moves to a
+// tombstone: a late retry of an already-folded frame still dedups, and
+// a same-epoch reappearance resurrects the state intact.
+func (a *Aggregator) bye(req pushRequest) Ack {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ack := Ack{Window: a.window, Status: StatusBye, AggEpoch: a.epoch}
+	ns, ok := a.nodes[req.Node]
+	if !ok {
+		// Unknown or already retired: a bye is idempotent.
+		return ack
+	}
+	if req.Epoch < ns.status.Epoch {
+		ack.Err = fmt.Sprintf("stream: node %s epoch %d is stale (current incarnation is %d)", req.Node, req.Epoch, ns.status.Epoch)
+		return ack
+	}
+	a.retireLocked(ns, StateLeft)
+	ack.Stable = ns.stable
+	return ack
+}
+
+// retireLocked moves a live node into the tombstone set. The full
+// nodeState survives — tombstones are what keep exactly-once exact
+// across membership churn.
+func (a *Aggregator) retireLocked(ns *nodeState, state string) {
+	name := ns.status.Node
+	delete(a.nodes, name)
+	ns.status.State = state
+	a.tombs[name] = ns
+	a.tombFIFO = append(a.tombFIFO, name)
+	for len(a.tombs) > maxTombstones && len(a.tombFIFO) > 0 {
+		oldest := a.tombFIFO[0]
+		a.tombFIFO = a.tombFIFO[1:]
+		if t, ok := a.tombs[oldest]; ok && t.status.State != StateLive {
+			delete(a.tombs, oldest)
+		}
+	}
+	a.member++
+	if m := a.metrics; m != nil {
+		if state == StateEvicted {
+			m.evictions.Inc()
+		} else {
+			m.leaves.Inc()
+		}
+	}
+}
+
+// nodeLocked returns the live state for (node, epoch), creating it on
+// first contact (a membership join), resurrecting a tombstone, and
+// resetting the sequence tracker on an epoch bump. An epoch older than
+// the node's current one is rejected: the successor already owns the
+// sequence space.
 func (a *Aggregator) nodeLocked(node string, epoch uint64) (*nodeState, error) {
 	ns, ok := a.nodes[node]
 	if !ok {
-		ns = &nodeState{status: NodeStatus{Node: node, Epoch: epoch}}
+		if t, tok := a.tombs[node]; tok {
+			// A retired node is back. Same epoch: resurrect the tombstone —
+			// its dedup book still describes this incarnation's sequence
+			// space exactly, so nothing can refold. Higher epoch: a fresh
+			// incarnation, fresh sequence space.
+			if epoch < t.status.Epoch {
+				return nil, fmt.Errorf("stream: node %s epoch %d is stale (current incarnation is %d)", node, epoch, t.status.Epoch)
+			}
+			delete(a.tombs, node)
+			for i, name := range a.tombFIFO {
+				if name == node {
+					a.tombFIFO = append(a.tombFIFO[:i], a.tombFIFO[i+1:]...)
+					break
+				}
+			}
+			if epoch > t.status.Epoch {
+				t.status.Epoch = epoch
+				t.status.Restarts++
+				t.tracker = seqTracker{}
+				t.stable = 0
+			}
+			t.status.State = StateLive
+			a.nodes[node] = t
+			a.member++
+			if m := a.metrics; m != nil {
+				m.joins.Inc()
+			}
+			return t, nil
+		}
+		ns = &nodeState{status: NodeStatus{Node: node, Epoch: epoch, State: StateLive}}
 		a.nodes[node] = ns
+		a.member++
+		if m := a.metrics; m != nil {
+			m.joins.Inc()
+		}
 		return ns, nil
 	}
 	switch {
@@ -330,8 +520,64 @@ func (a *Aggregator) nodeLocked(node string, epoch uint64) (*nodeState, error) {
 		ns.status.Epoch = epoch
 		ns.status.Restarts++
 		ns.tracker = seqTracker{}
+		ns.stable = 0
 	}
 	return ns, nil
+}
+
+// EvictIdle retires every live node whose last frame is older than
+// olderThan, returning how many were evicted. The background loop
+// (AggregatorOptions.EvictAfter) calls it on a timer; tests call it
+// directly for determinism.
+func (a *Aggregator) EvictIdle(olderThan time.Duration) int {
+	deadline := time.Now().Add(-olderThan)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var victims []*nodeState
+	for _, ns := range a.nodes {
+		if ns.status.LastSeen.Before(deadline) {
+			victims = append(victims, ns)
+		}
+	}
+	for _, ns := range victims {
+		a.retireLocked(ns, StateEvicted)
+	}
+	return len(victims)
+}
+
+// evictLoop drives liveness-based eviction.
+func (a *Aggregator) evictLoop() {
+	defer close(a.evictDone)
+	period := a.opts.EvictAfter / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.quit:
+			return
+		case <-t.C:
+			a.EvictIdle(a.opts.EvictAfter)
+		}
+	}
+}
+
+// Epoch returns the aggregator's incarnation number (1 for a fresh
+// aggregator; a restore bumps it).
+func (a *Aggregator) Epoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// MembershipVersion returns the membership configuration version —
+// bumped on every join, leave and eviction.
+func (a *Aggregator) MembershipVersion() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.member
 }
 
 // fold is the single folder goroutine: it applies queued deltas in
@@ -389,17 +635,30 @@ func (a *Aggregator) apply(req pushRequest) Ack {
 func (a *Aggregator) applyFrame(req pushRequest) Ack {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	ack := Ack{Window: a.window}
+	ack := Ack{Window: a.window, AggEpoch: a.epoch}
 	ns, err := a.nodeLocked(req.Node, req.Epoch)
 	if err != nil {
 		ack.Err = err.Error()
 		return ack
 	}
 	ns.status.LastSeen = time.Now()
+	// markLocked records seq as processed and, for a non-durable
+	// aggregator (which never restores, so acked == durable), advances
+	// the stable watermark with it.
+	markLocked := func(seq uint64) {
+		ns.tracker.mark(seq)
+		if !a.opts.Durable {
+			ns.stable = ns.tracker.base
+		}
+	}
+	ackStable := func() Ack {
+		ack.Stable = ns.stable
+		return ack
+	}
 	reject := func(format string, args ...any) Ack {
 		ack.Err = fmt.Sprintf(format, args...)
 		ns.status.Rejected++
-		return ack
+		return ackStable()
 	}
 	if req.Seq == 0 {
 		return reject("stream: delta frames number from seq 1")
@@ -409,7 +668,7 @@ func (a *Aggregator) applyFrame(req pushRequest) Ack {
 		// folded, ack again, fold nothing.
 		ack.Status = StatusDuplicate
 		ns.status.Duplicates++
-		return ack
+		return ackStable()
 	}
 	if req.Window > a.window {
 		// A frame from the future means clock confusion somewhere; do not
@@ -420,10 +679,10 @@ func (a *Aggregator) applyFrame(req pushRequest) Ack {
 	if age >= uint64(a.ws.Windows()) {
 		// Too old to represent. Acknowledge and mark it so the node moves
 		// on — re-sending can never succeed.
-		ns.tracker.mark(req.Seq)
+		markLocked(req.Seq)
 		ack.Status = StatusDroppedOld
 		ns.status.Dropped++
-		return ack
+		return ackStable()
 	}
 	delta, err := a.sk.UnmarshalSketch(req.Payload)
 	if err != nil {
@@ -434,18 +693,32 @@ func (a *Aggregator) applyFrame(req pushRequest) Ack {
 	if err := a.ws.AddSketch(int(age), delta); err != nil {
 		return reject("stream: node %s delta seq %d: %v", req.Node, req.Seq, err)
 	}
-	ns.tracker.mark(req.Seq)
+	markLocked(req.Seq)
 	ns.status.Applied++
+	if req.Folds > 1 {
+		// A node-side merge: the frame is the exact sum of Folds local
+		// captures the overloaded node folded together instead of
+		// blocking — account the shed so "captures folded" reconciles.
+		ns.status.ShedFrames++
+		ns.status.ShedFolds += int64(req.Folds - 1)
+		if m := a.metrics; m != nil {
+			m.shedFrames.Inc()
+			m.shedFolds.Add(int64(req.Folds - 1))
+		}
+	}
 	if req.Window > ns.status.LastWindow {
 		ns.status.LastWindow = req.Window
 	}
 	a.gen++ // new data: recovery cache entries are now stale
 	ack.Applied = true
 	ack.Status = StatusApplied
-	return ack
+	return ackStable()
 }
 
-// rotateLoop drives wall-clock window rotation.
+// rotateLoop drives wall-clock window rotation. A durable aggregator
+// snapshots right after each rotation: the snapshot's window counter
+// then matches what nodes learn from their next ack, so a restore never
+// resurrects a pre-rotation window numbering.
 func (a *Aggregator) rotateLoop() {
 	defer close(a.rotateDone)
 	t := time.NewTicker(a.opts.WindowEvery)
@@ -456,6 +729,35 @@ func (a *Aggregator) rotateLoop() {
 			return
 		case <-t.C:
 			a.Rotate()
+			a.maybeSnapshot()
+		}
+	}
+}
+
+// snapshotLoop writes periodic snapshots between rotations.
+func (a *Aggregator) snapshotLoop() {
+	defer close(a.snapDone)
+	t := time.NewTicker(a.opts.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.quit:
+			return
+		case <-t.C:
+			a.maybeSnapshot()
+		}
+	}
+}
+
+// maybeSnapshot writes a snapshot to the configured path, if any,
+// recording success/failure in the stream_snapshot_* families.
+func (a *Aggregator) maybeSnapshot() {
+	if a.opts.SnapshotPath == "" {
+		return
+	}
+	if err := a.WriteSnapshot(a.opts.SnapshotPath); err != nil {
+		if m := a.metrics; m != nil {
+			m.snapshotErrors.Inc()
 		}
 	}
 }
@@ -642,20 +944,39 @@ func (a *Aggregator) insertCacheLocked(key queryKey, r queryResult) {
 	}
 }
 
-// Nodes returns the liveness/lag table, sorted by node name.
+// Nodes returns the liveness/lag table — live members plus retired
+// (left/evicted) tombstones, distinguished by State — sorted by node
+// name.
 func (a *Aggregator) Nodes() []NodeStatus {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make([]NodeStatus, 0, len(a.nodes))
-	for _, ns := range a.nodes {
+	out := make([]NodeStatus, 0, len(a.nodes)+len(a.tombs))
+	collect := func(ns *nodeState) {
 		s := ns.status
+		s.Stable = ns.stable
+		if s.State == "" {
+			s.State = StateLive
+		}
 		if s.LastWindow < a.window {
 			s.Lag = a.window - s.LastWindow
 		}
 		out = append(out, s)
 	}
+	for _, ns := range a.nodes {
+		collect(ns)
+	}
+	for _, ns := range a.tombs {
+		collect(ns)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
+}
+
+// LiveNodes returns how many nodes are current members.
+func (a *Aggregator) LiveNodes() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.nodes)
 }
 
 // Stats returns a snapshot of aggregator-wide counters, read from the
@@ -666,7 +987,13 @@ func (a *Aggregator) Nodes() []NodeStatus {
 // CacheHits+CacheMisses == queries hold exactly.
 func (a *Aggregator) Stats() AggStats {
 	a.mu.Lock()
-	s := AggStats{Window: a.window, Nodes: len(a.nodes)}
+	s := AggStats{
+		Window:     a.window,
+		Nodes:      len(a.nodes),
+		AggEpoch:   a.epoch,
+		Membership: a.member,
+		Tombstones: len(a.tombs),
+	}
 	a.mu.Unlock()
 	m := a.metrics
 	if m == nil {
@@ -684,6 +1011,14 @@ func (a *Aggregator) Stats() AggStats {
 	s.CacheMisses = m.cacheMisses.Value()
 	s.WarmStarts = m.warmStarts.Value()
 	s.BatchRefreshes = m.batchRefreshes.Value()
+	s.Joins = m.joins.Value()
+	s.Leaves = m.leaves.Value()
+	s.Evictions = m.evictions.Value()
+	s.Snapshots = m.snapshots.Value()
+	s.SnapshotErrors = m.snapshotErrors.Value()
+	s.SnapshotBytes = int64(m.snapshotBytes.Value())
+	s.ShedFrames = m.shedFrames.Value()
+	s.ShedFolds = m.shedFolds.Value()
 	return s
 }
 
@@ -736,10 +1071,15 @@ func (a *Aggregator) Close(ctx context.Context) error {
 	go func() {
 		<-a.folderDone
 		<-a.rotateDone
+		<-a.snapDone
+		<-a.evictDone
 		close(done)
 	}()
 	select {
 	case <-done:
+		// Final snapshot: the folder has drained, so everything acked is
+		// in the window store — the snapshot a clean restart restores.
+		a.maybeSnapshot()
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("stream: aggregator close: %w", ctx.Err())

@@ -47,14 +47,22 @@ func (c *Client) Hello(node string, epoch uint64) (Ack, error) {
 }
 
 // PushDelta ships one window-tagged sketch delta. payload must be the
-// csoutlier binary sketch codec bytes of the delta. A transport error
-// poisons the connection (the client must be re-dialed); an Ack with a
-// non-empty Err is a frame-level rejection on a healthy connection.
-func (c *Client) PushDelta(node string, epoch, window, seq uint64, payload []byte) (Ack, error) {
+// csoutlier binary sketch codec bytes of the delta; folds is how many
+// local captures were merged into it (0 and 1 both mean a plain frame,
+// >1 marks a shed/merged frame). A transport error poisons the
+// connection (the client must be re-dialed); an Ack with a non-empty
+// Err is a frame-level rejection on a healthy connection.
+func (c *Client) PushDelta(node string, epoch, window, seq uint64, folds uint32, payload []byte) (Ack, error) {
 	return c.exchange(&pushRequest{
 		Kind: pushDelta, Node: node, Epoch: epoch,
-		Window: window, Seq: seq, Payload: payload,
+		Window: window, Seq: seq, Folds: folds, Payload: payload,
 	})
+}
+
+// Bye announces a graceful leave for (node, epoch). The aggregator
+// retires the membership; the ack carries the final window view.
+func (c *Client) Bye(node string, epoch uint64) (Ack, error) {
+	return c.exchange(&pushRequest{Kind: pushBye, Node: node, Epoch: epoch})
 }
 
 // exchange runs one encode/decode round-trip under the deadline.

@@ -1,0 +1,257 @@
+package stream
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// renderMetrics scrapes the aggregator's registry into the Prometheus
+// text format.
+func renderMetrics(t *testing.T, agg *Aggregator) string {
+	t.Helper()
+	var b strings.Builder
+	if err := agg.MetricsRegistry().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return b.String()
+}
+
+// TestMembershipLeaveRejoin drives the graceful-leave path end to end:
+// a node Leaves (flush + bye), its membership is retired but its dedup
+// book survives, its per-node metric series are dropped, and the same
+// incarnation can rejoin with its sequence space intact — a replayed
+// pre-leave frame dedups instead of refolding.
+func TestMembershipLeaveRejoin(t *testing.T) {
+	sk := testSketcher(t, 128, 64, 21)
+	agg, addr := serveAgg(t, sk, AggregatorOptions{Windows: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	n, err := Dial(ctx, addr, sk, "node00", NodeOptions{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := n.Observe("key001", 5); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if err := n.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	before, err := agg.WindowSketch(0)
+	if err != nil {
+		t.Fatalf("WindowSketch: %v", err)
+	}
+	if err := n.Leave(ctx); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+
+	if got := agg.LiveNodes(); got != 0 {
+		t.Fatalf("LiveNodes after leave = %d, want 0", got)
+	}
+	sts := agg.Nodes()
+	if len(sts) != 1 || sts[0].State != StateLeft {
+		t.Fatalf("Nodes after leave = %+v, want one node in state %q", sts, StateLeft)
+	}
+	if s := agg.Stats(); s.Leaves != 1 || s.Joins != 1 || s.Tombstones != 1 {
+		t.Fatalf("Stats after leave: joins=%d leaves=%d tombstones=%d, want 1/1/1", s.Joins, s.Leaves, s.Tombstones)
+	}
+
+	// Scrape twice: the first render retires the per-node series, the
+	// second must not mention the node anymore.
+	renderMetrics(t, agg)
+	if expo := renderMetrics(t, agg); strings.Contains(expo, `node="node00"`) {
+		t.Fatalf("per-node series survived the leave:\n%s", expo)
+	}
+
+	// A stray duplicate from the retired incarnation must still dedup.
+	c, err := DialClient(ctx, addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("DialClient: %v", err)
+	}
+	defer c.Close()
+	payload := uniformDelta(t, sk, 1)
+	ack, err := c.PushDelta("node00", 1, 1, 1, 1, payload)
+	if err != nil {
+		t.Fatalf("PushDelta: %v", err)
+	}
+	if ack.Status != StatusDuplicate {
+		t.Fatalf("replay after leave: status %q err %q, want duplicate", ack.Status, ack.Err)
+	}
+	after, err := agg.WindowSketch(0)
+	if err != nil {
+		t.Fatalf("WindowSketch: %v", err)
+	}
+	sameBits(t, "window after post-leave duplicate", after, before)
+
+	// The rejoin (same id, same epoch) resurrects the tombstone: the
+	// node is live again, the dedup book intact, and a fresh frame folds
+	// under the next sequence number.
+	if st := agg.Nodes()[0]; st.State != StateLive {
+		// PushDelta above already resurrected it — dedup happens on the
+		// live state.
+		t.Fatalf("node state after replay = %q, want %q", st.State, StateLive)
+	}
+	if s := agg.Stats(); s.Joins != 2 {
+		t.Fatalf("Joins after rejoin = %d, want 2", s.Joins)
+	}
+	ack, err = c.PushDelta("node00", 1, 1, 2, 1, payload)
+	if err != nil {
+		t.Fatalf("PushDelta seq 2: %v", err)
+	}
+	if !ack.Applied {
+		t.Fatalf("fresh frame after rejoin: %+v", ack)
+	}
+
+	// A stale epoch is still fenced after all that churn.
+	if ack, err = c.Hello("node00", 0); err != nil {
+		t.Fatalf("Hello: %v", err)
+	}
+	if ack.Err == "" {
+		t.Fatal("stale epoch hello accepted after rejoin")
+	}
+}
+
+// TestMembershipEvict pins liveness-driven eviction: only nodes silent
+// past the deadline are retired, eviction is surfaced in state/stats,
+// and an evicted node that comes back is resurrected with its dedup
+// book (same epoch, no refold) rather than fenced out forever.
+func TestMembershipEvict(t *testing.T) {
+	sk := testSketcher(t, 128, 64, 22)
+	agg, addr := serveAgg(t, sk, AggregatorOptions{Windows: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	quiet, err := Dial(ctx, addr, sk, "node00", NodeOptions{})
+	if err != nil {
+		t.Fatalf("Dial quiet: %v", err)
+	}
+	defer quiet.Abort()
+	busy, err := Dial(ctx, addr, sk, "node01", NodeOptions{})
+	if err != nil {
+		t.Fatalf("Dial busy: %v", err)
+	}
+	defer busy.Abort()
+	if err := quiet.Observe("key002", 3); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if err := quiet.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Let the quiet node age past the deadline, keep the busy one fresh.
+	time.Sleep(40 * time.Millisecond)
+	if err := busy.Sync(ctx); err != nil {
+		t.Fatalf("Sync busy: %v", err)
+	}
+	if got := agg.EvictIdle(20 * time.Millisecond); got != 1 {
+		t.Fatalf("EvictIdle evicted %d nodes, want 1", got)
+	}
+	if got := agg.LiveNodes(); got != 1 {
+		t.Fatalf("LiveNodes after evict = %d, want 1", got)
+	}
+	for _, st := range agg.Nodes() {
+		want := StateLive
+		if st.Node == "node00" {
+			want = StateEvicted
+		}
+		if st.State != want {
+			t.Fatalf("node %s state %q, want %q", st.Node, st.State, want)
+		}
+	}
+	if s := agg.Stats(); s.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", s.Evictions)
+	}
+
+	// The evicted node was alive all along — its next heartbeat
+	// resurrects the membership and the dedup book still refuses its
+	// already-folded frame.
+	if err := quiet.Sync(ctx); err != nil {
+		t.Fatalf("Sync quiet after evict: %v", err)
+	}
+	if got := agg.LiveNodes(); got != 2 {
+		t.Fatalf("LiveNodes after resurrect = %d, want 2", got)
+	}
+	c, err := DialClient(ctx, addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("DialClient: %v", err)
+	}
+	defer c.Close()
+	ack, err := c.PushDelta("node00", 1, 1, 1, 1, uniformDelta(t, sk, 1))
+	if err != nil {
+		t.Fatalf("PushDelta: %v", err)
+	}
+	if ack.Status != StatusDuplicate {
+		t.Fatalf("replay after resurrect: status %q err %q, want duplicate", ack.Status, ack.Err)
+	}
+	st := agg.Nodes()[0]
+	if st.Node != "node00" || st.Applied != 1 || st.Duplicates != 1 {
+		t.Fatalf("resurrected status = %+v, want Applied=1 Duplicates=1", st)
+	}
+}
+
+// TestEvictLoop checks the background eviction driver: a node that goes
+// silent under AggregatorOptions.EvictAfter is retired without any
+// manual EvictIdle call, and rejoins transparently on its next contact.
+func TestEvictLoop(t *testing.T) {
+	sk := testSketcher(t, 128, 64, 23)
+	agg, addr := serveAgg(t, sk, AggregatorOptions{Windows: 4, EvictAfter: 25 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	n, err := Dial(ctx, addr, sk, "node00", NodeOptions{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer n.Abort()
+	deadline := time.Now().Add(5 * time.Second)
+	for agg.LiveNodes() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background eviction never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := n.Sync(ctx); err != nil {
+		t.Fatalf("Sync after eviction: %v", err)
+	}
+	if got := agg.LiveNodes(); got != 1 {
+		t.Fatalf("LiveNodes after rejoin = %d, want 1", got)
+	}
+}
+
+// TestTombstoneEpochFencing: a tombstone still fences stale epochs, a
+// higher epoch gets a fresh sequence space, and byes are idempotent.
+func TestTombstoneEpochFencing(t *testing.T) {
+	sk := testSketcher(t, 128, 64, 24)
+	agg, addr := serveAgg(t, sk, AggregatorOptions{Windows: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	c, err := DialClient(ctx, addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("DialClient: %v", err)
+	}
+	defer c.Close()
+	payload := uniformDelta(t, sk, 1)
+	if ack, err := c.PushDelta("node00", 2, 1, 1, 1, payload); err != nil || !ack.Applied {
+		t.Fatalf("seed frame: ack=%+v err=%v", ack, err)
+	}
+	if ack, err := c.Bye("node00", 2); err != nil || ack.Err != "" || ack.Status != StatusBye {
+		t.Fatalf("bye: ack=%+v err=%v", ack, err)
+	}
+	if ack, err := c.Bye("node00", 2); err != nil || ack.Err != "" {
+		t.Fatalf("second bye not idempotent: ack=%+v err=%v", ack, err)
+	}
+	if ack, err := c.Hello("node00", 1); err != nil || ack.Err == "" {
+		t.Fatalf("stale-epoch hello against tombstone accepted: ack=%+v err=%v", ack, err)
+	}
+	// Higher epoch: fresh incarnation, seq 1 is new again.
+	if ack, err := c.PushDelta("node00", 3, 1, 1, 1, payload); err != nil || !ack.Applied {
+		t.Fatalf("higher-epoch frame: ack=%+v err=%v", ack, err)
+	}
+	st := agg.Nodes()[0]
+	if st.Epoch != 3 || st.Restarts != 1 || st.State != StateLive {
+		t.Fatalf("status after epoch bump through tombstone: %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"sync"
 	"time"
 
 	"csoutlier/internal/obs"
@@ -14,25 +15,43 @@ import (
 type aggMetrics struct {
 	reg *obs.Registry
 
-	conns       *obs.Counter
-	hellos      *obs.Counter
-	frames      *obs.Counter
-	applied     *obs.Counter
-	duplicates  *obs.Counter
-	dropped     *obs.Counter
-	rejected    *obs.Counter
-	rotations   *obs.Counter
+	conns          *obs.Counter
+	hellos         *obs.Counter
+	frames         *obs.Counter
+	applied        *obs.Counter
+	duplicates     *obs.Counter
+	dropped        *obs.Counter
+	rejected       *obs.Counter
+	rotations      *obs.Counter
 	cacheHits      *obs.Counter
 	cacheMisses    *obs.Counter
 	warmStarts     *obs.Counter
 	batchRefreshes *obs.Counter
 	foldSeconds    *obs.Histogram
 
+	snapshots       *obs.Counter
+	snapshotErrors  *obs.Counter
+	snapshotBytes   *obs.Gauge
+	snapshotSeconds *obs.Histogram
+
+	joins     *obs.Counter
+	leaves    *obs.Counter
+	evictions *obs.Counter
+
+	shedFrames *obs.Counter
+	shedFolds  *obs.Counter
+
 	nodeLag      *obs.GaugeVec
 	nodeLastSeen *obs.GaugeVec
 	nodeEpoch    *obs.GaugeVec
 	nodeRestarts *obs.GaugeVec
 	nodeFrames   *obs.GaugeVec
+
+	// exported tracks which node names currently have per-node series,
+	// so the scrape refresh can retire series of nodes that left or were
+	// evicted instead of leaking them forever.
+	exportedMu sync.Mutex
+	exported   map[string]struct{}
 }
 
 // newAggMetrics registers the streaming aggregator's metric families in
@@ -42,18 +61,21 @@ func newAggMetrics(reg *obs.Registry, a *Aggregator) *aggMetrics {
 		"delta frames by fold outcome", "outcome")
 	cache := reg.CounterVec("stream_recovery_cache_total",
 		"outlier queries by recovery-cache result", "result")
+	membership := reg.CounterVec("stream_membership_events_total",
+		"membership changes by kind (join covers first contact and rejoin)", "event")
 	m := &aggMetrics{
-		reg: reg,
+		reg:      reg,
+		exported: make(map[string]struct{}),
 		conns: reg.Counter("stream_connections_total",
 			"node connections accepted"),
 		hellos: reg.Counter("stream_hellos_total",
 			"hello frames answered"),
 		frames: reg.Counter("stream_frames_total",
 			"delta frames processed (all outcomes)"),
-		applied:     outcomes.With("applied"),
-		duplicates:  outcomes.With("duplicate"),
-		dropped:     outcomes.With("dropped"),
-		rejected:    outcomes.With("rejected"),
+		applied:    outcomes.With("applied"),
+		duplicates: outcomes.With("duplicate"),
+		dropped:    outcomes.With("dropped"),
+		rejected:   outcomes.With("rejected"),
 		rotations: reg.Counter("stream_rotations_total",
 			"window rotations"),
 		cacheHits:   cache.With("hit"),
@@ -64,6 +86,21 @@ func newAggMetrics(reg *obs.Registry, a *Aggregator) *aggMetrics {
 			"stale standing queries refreshed by piggybacking on another query's recovery batch"),
 		foldSeconds: reg.Histogram("stream_fold_seconds",
 			"wall time folding one delta frame into the window store (sampled: first frame, then 1 in 16)", obs.LatencyBuckets()),
+		snapshots: reg.Counter("stream_snapshot_commits_total",
+			"snapshots committed (nodes' stable watermarks advanced)"),
+		snapshotErrors: reg.Counter("stream_snapshot_errors_total",
+			"snapshot write attempts that failed"),
+		snapshotBytes: reg.Gauge("stream_snapshot_bytes",
+			"size of the last snapshot written to disk"),
+		snapshotSeconds: reg.Histogram("stream_snapshot_seconds",
+			"fold pause capturing one snapshot (the a.mu critical section plus encode)", obs.LatencyBuckets()),
+		joins:     membership.With("join"),
+		leaves:    membership.With("leave"),
+		evictions: membership.With("evict"),
+		shedFrames: reg.Counter("stream_shed_frames_total",
+			"applied frames that were node-side merges of more than one local capture"),
+		shedFolds: reg.Counter("stream_shed_folds_total",
+			"extra local captures carried by shed frames (sum of folds-1); applied frames + shed folds = captures folded"),
 		nodeLag: reg.GaugeVec("stream_node_lag_windows",
 			"windows the node's latest applied delta trails the current window", "node"),
 		nodeLastSeen: reg.GaugeVec("stream_node_last_seen_age_seconds",
@@ -82,15 +119,32 @@ func newAggMetrics(reg *obs.Registry, a *Aggregator) *aggMetrics {
 		"current window ID",
 		func() float64 { return float64(a.CurrentWindow()) })
 	reg.GaugeFunc("stream_nodes",
-		"nodes ever seen",
+		"live member nodes",
+		func() float64 { return float64(a.LiveNodes()) })
+	reg.GaugeFunc("stream_membership_version",
+		"membership configuration version (bumped on join/leave/evict)",
+		func() float64 { return float64(a.MembershipVersion()) })
+	reg.GaugeFunc("stream_membership_tombstones",
+		"retired (left/evicted) node states held for dedup",
 		func() float64 {
 			a.mu.Lock()
 			defer a.mu.Unlock()
-			return float64(len(a.nodes))
+			return float64(len(a.tombs))
 		})
+	reg.GaugeFunc("stream_agg_epoch",
+		"aggregator incarnation number (bumped on snapshot restore)",
+		func() float64 { return float64(a.Epoch()) })
 	reg.OnScrape(func() {
 		now := time.Now()
+		m.exportedMu.Lock()
+		defer m.exportedMu.Unlock()
+		live := make(map[string]struct{})
 		for _, ns := range a.Nodes() {
+			if ns.State != StateLive {
+				continue // retired nodes keep their tombstone, not their series
+			}
+			live[ns.Node] = struct{}{}
+			m.exported[ns.Node] = struct{}{}
 			m.nodeLag.With(ns.Node).SetInt(int64(ns.Lag))
 			m.nodeLastSeen.With(ns.Node).Set(now.Sub(ns.LastSeen).Seconds())
 			m.nodeEpoch.With(ns.Node).SetInt(int64(ns.Epoch))
@@ -99,6 +153,19 @@ func newAggMetrics(reg *obs.Registry, a *Aggregator) *aggMetrics {
 			m.nodeFrames.With(ns.Node, "duplicate").SetInt(ns.Duplicates)
 			m.nodeFrames.With(ns.Node, "dropped").SetInt(ns.Dropped)
 			m.nodeFrames.With(ns.Node, "rejected").SetInt(ns.Rejected)
+		}
+		for node := range m.exported {
+			if _, ok := live[node]; ok {
+				continue
+			}
+			delete(m.exported, node)
+			m.nodeLag.Remove(node)
+			m.nodeLastSeen.Remove(node)
+			m.nodeEpoch.Remove(node)
+			m.nodeRestarts.Remove(node)
+			for _, outcome := range []string{"applied", "duplicate", "dropped", "rejected"} {
+				m.nodeFrames.Remove(node, outcome)
+			}
 		}
 	})
 	return m
@@ -115,6 +182,10 @@ func (n *Node) RegisterMetrics(reg *obs.Registry) {
 	applied := reg.Gauge("stream_client_applied_frames", "frames the aggregator folded")
 	redials := reg.Gauge("stream_client_redials", "connections re-established")
 	rotations := reg.Gauge("stream_client_rotations", "window advances adopted from acks")
+	merged := reg.Gauge("stream_client_merged_captures", "captures folded into a pending frame under backpressure (shed mode)")
+	retained := reg.Gauge("stream_client_retained_frames", "acked frames held for replay until the aggregator declares them durable")
+	replayed := reg.Gauge("stream_client_replayed_frames", "retained frames requeued after an aggregator restore")
+	retainDropped := reg.Gauge("stream_client_retain_dropped_frames", "retained frames discarded at the retention cap")
 	reg.OnScrape(func() {
 		s := n.Stats()
 		window.SetInt(int64(s.Window))
@@ -124,5 +195,9 @@ func (n *Node) RegisterMetrics(reg *obs.Registry) {
 		applied.SetInt(s.Applied)
 		redials.SetInt(s.Redials)
 		rotations.SetInt(s.Rotations)
+		merged.SetInt(s.Merged)
+		retained.SetInt(int64(s.Retained))
+		replayed.SetInt(s.Replayed)
+		retainDropped.SetInt(s.RetainDropped)
 	})
 }

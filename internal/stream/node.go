@@ -45,6 +45,25 @@ type NodeOptions struct {
 	// simulation harness sets it from the scenario seed so a soak's
 	// reconnect timing replays from its -sim.streamreplay line.
 	BackoffSeed uint64
+	// ShedAt, when positive, turns on admission control: once ShedAt
+	// frames are pending (the aggregator is slow or unreachable), each
+	// new capture is folded into the newest unsent same-window frame
+	// instead of queueing — the node ships coarser merged frames rather
+	// than blocking or refusing. Sketch linearity makes the merge exact:
+	// the merged frame is bit-for-bit the delta a single larger capture
+	// would have produced; only the frame count coarsens, which the
+	// Folds tag reports to the aggregator's stream_shed_* counters.
+	// 0 (default) keeps the refuse-at-MaxPending behavior.
+	ShedAt int
+	// Retain caps the replay-retention buffer: acked frames the
+	// aggregator has not yet declared durable (ack.Stable below their
+	// seq) are kept and replayed if a restored aggregator (bumped
+	// AggEpoch) announces it may have lost them. Default 1024; negative
+	// disables retention (an aggregator restore then silently loses
+	// frames acked after its last snapshot). Against a non-durable
+	// aggregator the buffer stays empty — every ack declares its own
+	// frame durable.
+	Retain int
 }
 
 func (o NodeOptions) withDefaults() NodeOptions {
@@ -66,6 +85,9 @@ func (o NodeOptions) withDefaults() NodeOptions {
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = time.Second
 	}
+	if o.Retain == 0 {
+		o.Retain = 1024
+	}
 	return o
 }
 
@@ -74,7 +96,7 @@ type NodeStats struct {
 	Window     uint64 // the node's current window view
 	Seq        uint64 // last captured sequence number
 	Pending    int    // captured frames not yet acknowledged
-	Captured   int64  // delta frames captured from the standing sketch
+	Captured   int64  // local captures drained from the standing sketch
 	Acked      int64  // frames acknowledged (any status)
 	Applied    int64  // frames the aggregator folded
 	Duplicates int64  // frames the aggregator had already processed
@@ -82,13 +104,36 @@ type NodeStats struct {
 	Rejected   int64  // frames the aggregator refused (frame-level error)
 	Redials    int64  // connections re-established
 	Rotations  int64  // window advances adopted from acks
+	// Merged counts captures folded into an already-pending frame under
+	// backpressure (admission control) instead of queueing their own.
+	Merged int64
+	// Retained is the current replay-retention buffer depth: acked
+	// frames the aggregator has not yet declared durable.
+	Retained int
+	// Replayed counts retained frames requeued because the aggregator's
+	// incarnation (AggEpoch) advanced — a restore that may have lost
+	// recently-acked frames.
+	Replayed int64
+	// RetainDropped counts retained frames discarded at the Retain cap;
+	// each is a frame an aggregator restore could silently lose.
+	RetainDropped int64
+	// AggEpoch is the aggregator incarnation last seen in an ack.
+	AggEpoch uint64
+	// Stable is the durable watermark last acked: every seq ≤ Stable
+	// survives an aggregator restore.
+	Stable uint64
 }
 
-// deltaFrame is one captured, retryable flush.
+// deltaFrame is one captured, retryable flush. folds counts the local
+// captures merged into it (>1 = a shed frame); sent marks that at
+// least one transmission attempt happened, which makes the frame
+// ineligible for merging (the aggregator may already have folded it).
 type deltaFrame struct {
 	window  uint64
 	seq     uint64
+	folds   uint32
 	payload []byte
+	sent    bool
 }
 
 // Node is the node-side half of the streaming service: a standing
@@ -107,12 +152,14 @@ type Node struct {
 	opts NodeOptions
 	u    *csoutlier.Updater
 
-	mu      sync.Mutex
-	window  uint64
-	seq     uint64
-	pending []*deltaFrame
-	drain   csoutlier.Sketch // reusable drain buffer, guarded by mu
-	stats   NodeStats
+	mu       sync.Mutex
+	window   uint64
+	seq      uint64
+	pending  []*deltaFrame
+	retained []*deltaFrame    // acked but not yet durable, oldest first
+	aggEpoch uint64           // aggregator incarnation last seen (0 = none yet)
+	drain    csoutlier.Sketch // reusable drain buffer, guarded by mu
+	stats    NodeStats
 
 	sendMu sync.Mutex // serializes network use: Flush/Sync/background
 	client *Client
@@ -180,6 +227,8 @@ func (n *Node) Stats() NodeStats {
 	s.Window = n.window
 	s.Seq = n.seq
 	s.Pending = len(n.pending)
+	s.Retained = len(n.retained)
+	s.AggEpoch = n.aggEpoch
 	return s
 }
 
@@ -206,7 +255,8 @@ func (n *Node) capture(force bool) error {
 }
 
 func (n *Node) captureLocked(force bool) error {
-	if !force && len(n.pending) >= n.opts.MaxPending {
+	shed := n.opts.ShedAt > 0 && len(n.pending) >= n.opts.ShedAt
+	if !force && !shed && len(n.pending) >= n.opts.MaxPending {
 		return fmt.Errorf("stream: node %s: %d frames pending (limit %d); observations keep accumulating in the standing sketch",
 			n.id, len(n.pending), n.opts.MaxPending)
 	}
@@ -217,14 +267,58 @@ func (n *Node) captureLocked(force bool) error {
 	if cnt == 0 {
 		return nil
 	}
+	if shed && !force {
+		if tail := n.mergeTargetLocked(); tail != nil {
+			// Admission control: fold this capture into the queued frame
+			// instead of growing the queue. Exact by linearity — the result
+			// is the delta one larger capture would have produced — and
+			// never applied to a frame that may already have been folded
+			// (sent) or that belongs to another window.
+			merged, err := n.sk.UnmarshalSketch(tail.payload)
+			if err != nil {
+				return err
+			}
+			if err := merged.Add(n.drain); err != nil {
+				return err
+			}
+			payload, err := merged.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			tail.payload = payload
+			tail.folds++
+			n.stats.Captured++
+			n.stats.Merged++
+			return nil
+		}
+		// No mergeable tail (it is in flight, or the window rotated):
+		// queue a fresh frame even past the bound — it becomes the merge
+		// target for the next capture, so overflow is capped at one frame
+		// per (window, transmission) boundary.
+	}
 	payload, err := n.drain.MarshalBinary()
 	if err != nil {
 		return err
 	}
 	n.seq++
-	n.pending = append(n.pending, &deltaFrame{window: n.window, seq: n.seq, payload: payload})
+	n.pending = append(n.pending, &deltaFrame{window: n.window, seq: n.seq, folds: 1, payload: payload})
 	n.stats.Captured++
 	return nil
+}
+
+// mergeTargetLocked returns the newest pending frame a capture may fold
+// into: unsent (no transmission attempt — resending mutated bytes under
+// an already-marked seq would lose the merge) and tagged with the
+// node's current window.
+func (n *Node) mergeTargetLocked() *deltaFrame {
+	if len(n.pending) == 0 {
+		return nil
+	}
+	tail := n.pending[len(n.pending)-1]
+	if tail.sent || tail.window != n.window {
+		return nil
+	}
+	return tail
 }
 
 // adoptWindow advances the node's window view to the aggregator's. The
@@ -254,12 +348,48 @@ func (n *Node) head() *deltaFrame {
 	return n.pending[0]
 }
 
-// pop removes the head frame after an ack and accounts its status.
-func (n *Node) pop(ack Ack) {
+// noteAckLocked processes the durability piggybacks every ack carries:
+// an AggEpoch bump requeues the retention buffer for replay (the
+// restored aggregator may have lost those frames; its dedup books drop
+// the ones it didn't), and the Stable watermark trims frames that can
+// never need replay again.
+func (n *Node) noteAckLocked(ack Ack) {
+	n.stats.Stable = ack.Stable
+	if ack.AggEpoch > n.aggEpoch {
+		if n.aggEpoch != 0 && len(n.retained) > 0 {
+			// The aggregator restarted from a snapshot. Replay everything
+			// retained, oldest first and ahead of the pending queue, so
+			// frames reach the restored dedup books in capture order.
+			n.pending = append(append(make([]*deltaFrame, 0, len(n.retained)+len(n.pending)), n.retained...), n.pending...)
+			n.stats.Replayed += int64(len(n.retained))
+			n.retained = nil
+		}
+		n.aggEpoch = ack.AggEpoch
+	}
+	if len(n.retained) > 0 && ack.Stable > 0 {
+		keep := n.retained[:0]
+		for _, f := range n.retained {
+			if f.seq > ack.Stable {
+				keep = append(keep, f)
+			}
+		}
+		n.retained = keep
+	}
+}
+
+// ackFrame accounts f's ack, removes it from the pending queue (by
+// identity — a concurrent replay may have requeued older frames ahead
+// of it) and moves it to the retention buffer if the aggregator has not
+// yet declared it durable.
+func (n *Node) ackFrame(f *deltaFrame, ack Ack) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if len(n.pending) > 0 {
-		n.pending = n.pending[1:]
+	n.noteAckLocked(ack)
+	for i, p := range n.pending {
+		if p == f {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			break
+		}
 	}
 	n.stats.Acked++
 	switch {
@@ -271,6 +401,15 @@ func (n *Node) pop(ack Ack) {
 		n.stats.Duplicates++
 	case ack.Status == StatusDroppedOld:
 		n.stats.Dropped++
+	}
+	if ack.Err == "" && n.opts.Retain > 0 && f.seq > ack.Stable {
+		// Acked but not durable: keep for replay. The buffer is in seq
+		// order because stop-and-wait acks frames in seq order.
+		n.retained = append(n.retained, f)
+		for len(n.retained) > n.opts.Retain {
+			n.retained = n.retained[1:]
+			n.stats.RetainDropped++
+		}
 	}
 }
 
@@ -296,6 +435,9 @@ func (n *Node) connect(ctx context.Context) (*Client, error) {
 		return nil, fmt.Errorf("stream: node %s rejected: %s", n.id, ack.Err)
 	}
 	n.client = c
+	n.mu.Lock()
+	n.noteAckLocked(ack)
+	n.mu.Unlock()
 	n.adoptWindow(ack.Window)
 	return c, nil
 }
@@ -331,7 +473,12 @@ func (n *Node) push(ctx context.Context, f *deltaFrame) (Ack, error) {
 			n.stats.Redials++
 			n.mu.Unlock()
 		}
-		ack, err := c.PushDelta(n.id, n.opts.Epoch, f.window, f.seq, f.payload)
+		n.mu.Lock()
+		f.sent = true // from here the frame may have been folded: never merge into it
+		folds := f.folds
+		payload := f.payload
+		n.mu.Unlock()
+		ack, err := c.PushDelta(n.id, n.opts.Epoch, f.window, f.seq, folds, payload)
 		if err != nil {
 			// Transport failure: the stream may hold a half-written
 			// frame. Poison and retry from a clean dial; the (epoch,
@@ -356,7 +503,7 @@ func (n *Node) drainPending(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		n.pop(ack)
+		n.ackFrame(f, ack)
 		// A rotation learned from the ack may capture a residual frame;
 		// the loop drains it in the same pass.
 		n.adoptWindow(ack.Window)
@@ -407,6 +554,9 @@ func (n *Node) Sync(ctx context.Context) error {
 		if ack.Err != "" {
 			return fmt.Errorf("stream: node %s rejected: %s", n.id, ack.Err)
 		}
+		n.mu.Lock()
+		n.noteAckLocked(ack)
+		n.mu.Unlock()
 		n.adoptWindow(ack.Window)
 		return n.drainPending(ctx)
 	}
@@ -448,6 +598,35 @@ func (n *Node) Close(ctx context.Context) error {
 	return nil
 }
 
+// Leave is the graceful-membership exit: flush everything pending, then
+// announce a bye so the aggregator retires this node from the live set
+// (its dedup book survives as a tombstone — a stray retry can still
+// dedup, and this same incarnation may rejoin later with its sequence
+// space intact). The connection is released either way.
+func (n *Node) Leave(ctx context.Context) error {
+	n.stopBackground()
+	flushErr := n.Flush(ctx)
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	if flushErr == nil {
+		c, err := n.connect(ctx)
+		if err == nil {
+			ack, berr := c.Bye(n.id, n.opts.Epoch)
+			if berr == nil && ack.Err != "" {
+				berr = fmt.Errorf("stream: node %s bye rejected: %s", n.id, ack.Err)
+			}
+			flushErr = berr
+		} else {
+			flushErr = err
+		}
+	}
+	n.disconnect()
+	if flushErr != nil {
+		return fmt.Errorf("stream: node %s leave: %w", n.id, flushErr)
+	}
+	return nil
+}
+
 // Abort drops the connection and every pending frame without flushing —
 // a crash, for tests and for callers abandoning an incarnation. Data
 // not yet acked is lost, exactly as if the process had died; a
@@ -459,6 +638,7 @@ func (n *Node) Abort() {
 	n.sendMu.Unlock()
 	n.mu.Lock()
 	n.pending = nil
+	n.retained = nil
 	n.mu.Unlock()
 }
 

@@ -1,0 +1,292 @@
+package stream
+
+import (
+	"context"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShedMergeExact pins the linearity contract of admission control:
+// a capture merged into a queued frame is bit-for-bit the delta one
+// larger capture would have produced. A shedding node (ShedAt=2) takes
+// three captures — the third merges into the second — while a shadow
+// node simply captures the same observations in two drains. Both
+// aggregators must hold bit-identical windows.
+func TestShedMergeExact(t *testing.T) {
+	sk := testSketcher(t, 256, 64, 31)
+	agg, addr := serveAgg(t, sk, AggregatorOptions{Windows: 4})
+	shadowAgg, shadowAddr := serveAgg(t, sk, AggregatorOptions{Windows: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	n, err := Dial(ctx, addr, sk, "node00", NodeOptions{ShedAt: 2, MaxPending: 8})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer n.Abort()
+	shadow, err := Dial(ctx, shadowAddr, sk, "node00", NodeOptions{})
+	if err != nil {
+		t.Fatalf("Dial shadow: %v", err)
+	}
+	defer shadow.Abort()
+
+	obs := []struct {
+		key string
+		v   float64
+	}{{"key010", 1.5}, {"key020", -2.25}, {"key030", 4.125}}
+
+	// Shedding node: three local captures, no transmission in between.
+	// Captures 1 and 2 queue frames; capture 3 finds pending == ShedAt
+	// and folds into the (unsent) second frame.
+	for i, o := range obs {
+		if err := n.Observe(o.key, o.v); err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+		if err := n.capture(false); err != nil {
+			t.Fatalf("capture %d: %v", i, err)
+		}
+	}
+	st := n.Stats()
+	if st.Captured != 3 || st.Merged != 1 || st.Pending != 2 {
+		t.Fatalf("after shed capture: %+v, want Captured=3 Merged=1 Pending=2", st)
+	}
+	if err := n.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Shadow node: the same observations in two captures — the second
+	// drain covers observations 2 and 3, exactly what the merge built.
+	if err := shadow.Observe(obs[0].key, obs[0].v); err != nil {
+		t.Fatalf("shadow Observe: %v", err)
+	}
+	if err := shadow.Flush(ctx); err != nil {
+		t.Fatalf("shadow Flush: %v", err)
+	}
+	for _, o := range obs[1:] {
+		if err := shadow.Observe(o.key, o.v); err != nil {
+			t.Fatalf("shadow Observe: %v", err)
+		}
+	}
+	if err := shadow.Flush(ctx); err != nil {
+		t.Fatalf("shadow Flush: %v", err)
+	}
+
+	got, err := agg.WindowSketch(0)
+	if err != nil {
+		t.Fatalf("WindowSketch: %v", err)
+	}
+	want, err := shadowAgg.WindowSketch(0)
+	if err != nil {
+		t.Fatalf("shadow WindowSketch: %v", err)
+	}
+	sameBits(t, "shed window vs shadow", got, want)
+
+	// Conservation: every capture is folded exactly once — applied
+	// frames plus shed folds equals captures.
+	as := agg.Stats()
+	if as.ShedFrames != 1 || as.ShedFolds != 1 {
+		t.Fatalf("agg shed stats: frames=%d folds=%d, want 1/1", as.ShedFrames, as.ShedFolds)
+	}
+	ns := agg.Nodes()[0]
+	if ns.Applied+as.ShedFolds != st.Captured {
+		t.Fatalf("conservation: applied %d + shed folds %d != captured %d", ns.Applied, as.ShedFolds, st.Captured)
+	}
+	if ns.ShedFrames != 1 || ns.ShedFolds != 1 {
+		t.Fatalf("node shed status: %+v, want ShedFrames=1 ShedFolds=1", ns)
+	}
+}
+
+// TestShedNeverMergesSentFrame: a frame that has been transmitted once
+// is never a merge target — a retry would resend mutated bytes under an
+// already-marked sequence number and silently lose the merged captures.
+func TestShedNeverMergesSentFrame(t *testing.T) {
+	sk := testSketcher(t, 128, 64, 32)
+	_, addr := serveAgg(t, sk, AggregatorOptions{Windows: 4})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	n, err := Dial(ctx, addr, sk, "node00", NodeOptions{ShedAt: 1, MaxPending: 4})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer n.Abort()
+	if err := n.Observe("key001", 1); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if err := n.capture(false); err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	// Mark the only pending frame as transmitted, as an in-flight push
+	// would.
+	n.mu.Lock()
+	n.pending[0].sent = true
+	n.mu.Unlock()
+	if err := n.Observe("key002", 1); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if err := n.capture(false); err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	st := n.Stats()
+	if st.Merged != 0 || st.Pending != 2 {
+		t.Fatalf("capture merged into a sent frame: %+v", st)
+	}
+}
+
+// gateRelay is a TCP relay whose uplink can be cut and restored: Cut
+// severs every live connection and refuses new ones, simulating a dead
+// link; Restore returns it to plain passthrough.
+type gateRelay struct {
+	addr string
+	open atomic.Bool
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newGateRelay(t *testing.T, target string) *gateRelay {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("relay listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	g := &gateRelay{addr: ln.Addr().String()}
+	g.open.Store(true)
+	go func() {
+		for {
+			cli, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if !g.open.Load() {
+				cli.Close()
+				continue
+			}
+			srv, err := net.Dial("tcp", target)
+			if err != nil {
+				cli.Close()
+				continue
+			}
+			g.mu.Lock()
+			g.conns = append(g.conns, cli, srv)
+			g.mu.Unlock()
+			go func() {
+				io.Copy(cli, srv)
+				cli.Close()
+			}()
+			go func() {
+				io.Copy(srv, cli)
+				srv.Close()
+			}()
+		}
+	}()
+	return g
+}
+
+func (g *gateRelay) Cut() {
+	g.open.Store(false)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, c := range g.conns {
+		c.Close()
+	}
+	g.conns = nil
+}
+
+func (g *gateRelay) Restore() { g.open.Store(true) }
+
+// TestOverloadShed cuts a node's uplink while observations keep coming.
+// The background flusher keeps capturing but cannot drain, so pending
+// frames hit ShedAt and further captures merge instead of erroring at
+// MaxPending or growing without bound. Observe must stay non-blocking
+// throughout. When the link returns, the backlog drains and every
+// capture is accounted for: applied frames + shed folds = captures, and
+// the window matches the observed totals to FP-regrouping precision.
+func TestOverloadShed(t *testing.T) {
+	sk := testSketcher(t, 128, 64, 33)
+	agg, addr := serveAgg(t, sk, AggregatorOptions{Windows: 4})
+	relay := newGateRelay(t, addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	n, err := Dial(ctx, relay.addr, sk, "node00", NodeOptions{
+		ShedAt:      2,
+		MaxPending:  8,
+		FlushEvery:  2 * time.Millisecond,
+		PushTimeout: 10 * time.Millisecond,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	relay.Cut() // uplink goes dark after the initial hello
+
+	const iters = 100
+	var worst time.Duration
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := n.Observe("key042", 1); err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	relay.Restore()
+	// Observe is a local sketch fold; even under full backpressure it
+	// must never wait on the network.
+	if worst > 250*time.Millisecond {
+		t.Fatalf("Observe blocked for %v under overload", worst)
+	}
+
+	// Drain the backlog through the throttle and reconcile.
+	if err := n.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := n.Stats()
+	if st.Merged == 0 {
+		t.Fatalf("no shed merges under overload: %+v", st)
+	}
+	if st.Pending != 0 {
+		t.Fatalf("backlog not drained: %+v", st)
+	}
+	as := agg.Stats()
+	ns := agg.Nodes()[0]
+	if as.ShedFrames == 0 || as.ShedFolds != st.Merged {
+		t.Fatalf("agg shed stats frames=%d folds=%d vs node Merged=%d", as.ShedFrames, as.ShedFolds, st.Merged)
+	}
+	if ns.Applied+as.ShedFolds != st.Captured {
+		t.Fatalf("conservation: applied %d + shed folds %d != captured %d", ns.Applied, as.ShedFolds, st.Captured)
+	}
+
+	// The window holds the full observed mass regardless of how the
+	// captures were regrouped — entries differ from a one-shot fold only
+	// by FP association, so compare with a relative tolerance.
+	shadow := testSketcher(t, 128, 64, 33)
+	u := shadow.NewUpdater()
+	if err := u.Observe("key042", float64(iters)); err != nil {
+		t.Fatalf("shadow Observe: %v", err)
+	}
+	want := shadow.ZeroSketch()
+	if _, err := u.DrainInto(want); err != nil {
+		t.Fatalf("DrainInto: %v", err)
+	}
+	got, err := agg.WindowSketch(0)
+	if err != nil {
+		t.Fatalf("WindowSketch: %v", err)
+	}
+	for i := range got.Y {
+		w, g := want.Y[i], got.Y[i]
+		if math.Abs(g-w) > 1e-9*math.Max(math.Abs(w), 1) {
+			t.Fatalf("window entry %d = %v, want ≈ %v", i, g, w)
+		}
+	}
+}

@@ -1,0 +1,555 @@
+package stream
+
+// Snapshot/restore: the durability half of the streaming service. An
+// aggregator's entire fold state is tiny — M floats per window plus the
+// per-(node, epoch) dedup books — so a snapshot is a single small blob
+// written with the classic tmp + fsync + atomic-rename discipline, and
+// a restore is exact: the window ring comes back Float64bits-identical
+// and the dedup books still refuse every already-folded frame.
+//
+// The recovery contract has three parts:
+//
+//  1. The aggregator snapshots after every rotation (and on a timer and
+//     at Close), committing each snapshot by advancing the per-node
+//     Stable watermark it acks — "everything up to seq S is durable".
+//  2. Nodes retain acked frames above the watermark (Node's retention
+//     buffer) — the frames an aggregator crash could lose.
+//  3. A restored aggregator announces a bumped AggEpoch in every ack;
+//     nodes that see it increase replay their retained frames. The
+//     restored dedup books drop the already-snapshotted ones as
+//     duplicates and fold the lost ones exactly once.
+//
+// Binary layout (all integers little-endian, "CSNP" magic, versioned,
+// CRC32-IEEE over everything before the trailer):
+//
+//	magic[4] version:u16
+//	aggEpoch:u64 window:u64 membership:u64
+//	capacity:u32 windowCount:u32 { len:u32 sketchCodecBytes }...
+//	nodeCount:u32 { node }...
+//	tombCount:u32 { node }...
+//	crc:u32
+//
+// where each node is
+//
+//	nameLen:u16 name state:u8 epoch:u64 base:u64
+//	aheadCount:u32 { seq:u64 }...   (strictly ascending, all > base)
+//	lastWindow:u64 applied:u64 duplicates:u64 dropped:u64 rejected:u64
+//	restarts:u64 shedFrames:u64 shedFolds:u64
+//
+// Window payloads reuse the csoutlier sketch codec, so every window
+// carries the full consensus identity (M, N, seed, ensemble) and its
+// own CRC — a snapshot restored under the wrong Sketcher is rejected,
+// not folded.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"csoutlier"
+)
+
+// snapMagic/snapVersion identify the snapshot codec.
+var snapMagic = [4]byte{'C', 'S', 'N', 'P'}
+
+const snapVersion uint16 = 1
+
+// SnapNode is one node's membership + dedup state in a snapshot.
+type SnapNode struct {
+	Node  string
+	State string // StateLive, StateLeft or StateEvicted
+	Epoch uint64
+	// Base/Ahead are the seqTracker: every seq in [1, Base] processed,
+	// plus the sparse sorted set processed ahead of the low-water mark.
+	Base  uint64
+	Ahead []uint64
+	// Liveness counters, restored so NodeStatus survives the restart.
+	LastWindow uint64
+	Applied    int64
+	Duplicates int64
+	Dropped    int64
+	Rejected   int64
+	Restarts   int64
+	ShedFrames int64
+	ShedFolds  int64
+}
+
+// Snapshot is a point-in-time copy of an aggregator's fold state.
+type Snapshot struct {
+	AggEpoch   uint64
+	Window     uint64 // current window ID at capture
+	Membership uint64 // membership version at capture
+	Capacity   int    // window ring capacity
+	// Windows holds the sketch-codec bytes of every filled window,
+	// oldest first; the last entry is the open window.
+	Windows [][]byte
+	Nodes   []SnapNode // live members
+	Tombs   []SnapNode // retired members (left/evicted)
+}
+
+// Snapshot captures the aggregator's fold state under one mutex
+// acquisition — the dedup books and the window ring are read in the
+// same critical section the folder writes them in, so the copy can
+// never be torn (a frame is either fully in the snapshot, dedup mark
+// and sketch addition both, or fully absent). The pause is O(windows·M
+// + nodes) and is recorded in stream_snapshot_seconds.
+func (a *Aggregator) Snapshot() (*Snapshot, error) {
+	start := time.Now()
+	a.mu.Lock()
+	snap := &Snapshot{
+		AggEpoch:   a.epoch,
+		Window:     a.window,
+		Membership: a.member,
+		Capacity:   a.ws.Windows(),
+	}
+	avail := a.ws.Available()
+	snap.Windows = make([][]byte, 0, avail)
+	for age := avail - 1; age >= 0; age-- {
+		w, err := a.ws.Window(age)
+		if err == nil {
+			var b []byte
+			b, err = w.MarshalBinary()
+			if err == nil {
+				snap.Windows = append(snap.Windows, b)
+				continue
+			}
+		}
+		a.mu.Unlock()
+		return nil, fmt.Errorf("stream: snapshot window age %d: %w", age, err)
+	}
+	snap.Nodes = snapNodesLocked(a.nodes)
+	snap.Tombs = snapNodesLocked(a.tombs)
+	a.mu.Unlock()
+	if m := a.metrics; m != nil {
+		m.snapshotSeconds.Observe(time.Since(start).Seconds())
+	}
+	return snap, nil
+}
+
+// snapNodesLocked copies a node-state map into sorted SnapNodes.
+func snapNodesLocked(states map[string]*nodeState) []SnapNode {
+	out := make([]SnapNode, 0, len(states))
+	for _, ns := range states {
+		st := ns.status.State
+		if st == "" {
+			st = StateLive
+		}
+		sn := SnapNode{
+			Node:       ns.status.Node,
+			State:      st,
+			Epoch:      ns.status.Epoch,
+			Base:       ns.tracker.base,
+			LastWindow: ns.status.LastWindow,
+			Applied:    ns.status.Applied,
+			Duplicates: ns.status.Duplicates,
+			Dropped:    ns.status.Dropped,
+			Rejected:   ns.status.Rejected,
+			Restarts:   ns.status.Restarts,
+			ShedFrames: ns.status.ShedFrames,
+			ShedFolds:  ns.status.ShedFolds,
+		}
+		if len(ns.tracker.ahead) > 0 {
+			sn.Ahead = make([]uint64, 0, len(ns.tracker.ahead))
+			for seq := range ns.tracker.ahead {
+				sn.Ahead = append(sn.Ahead, seq)
+			}
+			sort.Slice(sn.Ahead, func(i, j int) bool { return sn.Ahead[i] < sn.Ahead[j] })
+		}
+		out = append(out, sn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// CommitSnapshot marks snap as durable: every live node whose epoch the
+// snapshot covers has its Stable watermark advanced to the snapshot's
+// dedup base, so subsequent acks let the node trim its replay-retention
+// buffer. Call it after the snapshot bytes are safely on disk (or
+// wherever they need to be); WriteSnapshot does.
+func (a *Aggregator) CommitSnapshot(snap *Snapshot) {
+	a.mu.Lock()
+	for _, sn := range snap.Nodes {
+		if ns, ok := a.nodes[sn.Node]; ok && ns.status.Epoch == sn.Epoch && sn.Base > ns.stable {
+			ns.stable = sn.Base
+		}
+	}
+	a.mu.Unlock()
+	if m := a.metrics; m != nil {
+		m.snapshots.Inc()
+	}
+}
+
+// WriteSnapshot captures, encodes and atomically persists a snapshot:
+// write to a temp file in the target directory, fsync, rename over
+// path. A crash mid-write leaves the previous snapshot intact — the
+// file at path is always a complete, CRC-valid blob. On success the
+// snapshot is committed (nodes' Stable watermarks advance).
+func (a *Aggregator) WriteSnapshot(path string) error {
+	snap, err := a.Snapshot()
+	if err != nil {
+		return err
+	}
+	data, err := snap.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("stream: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmpName, path)
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("stream: snapshot %s: %w", path, err)
+	}
+	a.CommitSnapshot(snap)
+	if m := a.metrics; m != nil {
+		m.snapshotBytes.SetInt(int64(len(data)))
+	}
+	return nil
+}
+
+// LoadSnapshot reads and decodes a snapshot file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("stream: snapshot %s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// MarshalBinary encodes the snapshot. The encoding is canonical
+// (nodes and ahead sets sorted), so encode∘decode is the identity on
+// the bytes DecodeSnapshot accepts.
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	if s.Capacity < 1 || len(s.Windows) < 1 || len(s.Windows) > s.Capacity {
+		return nil, fmt.Errorf("stream: snapshot has %d windows for capacity %d", len(s.Windows), s.Capacity)
+	}
+	size := 4 + 2 + 8*3 + 4 + 4
+	for _, w := range s.Windows {
+		size += 4 + len(w)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, snapMagic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, snapVersion)
+	b = binary.LittleEndian.AppendUint64(b, s.AggEpoch)
+	b = binary.LittleEndian.AppendUint64(b, s.Window)
+	b = binary.LittleEndian.AppendUint64(b, s.Membership)
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.Capacity))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Windows)))
+	for _, w := range s.Windows {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(w)))
+		b = append(b, w...)
+	}
+	for _, group := range [][]SnapNode{s.Nodes, s.Tombs} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(group)))
+		for i := range group {
+			var err error
+			if b, err = appendSnapNode(b, &group[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	return b, nil
+}
+
+func appendSnapNode(b []byte, sn *SnapNode) ([]byte, error) {
+	if len(sn.Node) > 0xffff {
+		return nil, fmt.Errorf("stream: node name %q too long to snapshot", sn.Node[:32]+"…")
+	}
+	state, err := encodeState(sn.State)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(sn.Node)))
+	b = append(b, sn.Node...)
+	b = append(b, state)
+	b = binary.LittleEndian.AppendUint64(b, sn.Epoch)
+	b = binary.LittleEndian.AppendUint64(b, sn.Base)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(sn.Ahead)))
+	for _, seq := range sn.Ahead {
+		b = binary.LittleEndian.AppendUint64(b, seq)
+	}
+	b = binary.LittleEndian.AppendUint64(b, sn.LastWindow)
+	for _, v := range []int64{sn.Applied, sn.Duplicates, sn.Dropped, sn.Rejected, sn.Restarts, sn.ShedFrames, sn.ShedFolds} {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b, nil
+}
+
+func encodeState(state string) (byte, error) {
+	switch state {
+	case StateLive, "":
+		return 0, nil
+	case StateLeft:
+		return 1, nil
+	case StateEvicted:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("stream: unknown node state %q", state)
+}
+
+func decodeState(b byte) (string, error) {
+	switch b {
+	case 0:
+		return StateLive, nil
+	case 1:
+		return StateLeft, nil
+	case 2:
+		return StateEvicted, nil
+	}
+	return "", fmt.Errorf("stream: unknown node state byte %d", b)
+}
+
+// snapReader is a bounds-checked little-endian cursor; the first
+// overrun poisons it and every subsequent read returns zero values.
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b) {
+		r.err = errors.New("stream: snapshot truncated")
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *snapReader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *snapReader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *snapReader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+// DecodeSnapshot decodes and validates a snapshot blob. Truncated,
+// corrupt (CRC), wrong-version and non-canonical inputs are rejected
+// with an error — never a panic, never an unbounded allocation.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < 4+2+4 {
+		return nil, errors.New("stream: snapshot truncated")
+	}
+	if string(data[:4]) != string(snapMagic[:]) {
+		return nil, fmt.Errorf("stream: bad snapshot magic %q", data[:4])
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc := crc32.ChecksumIEEE(body); crc != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("stream: snapshot CRC mismatch (stored %08x, computed %08x)", binary.LittleEndian.Uint32(trailer), crc)
+	}
+	r := &snapReader{b: body[4:]}
+	if v := r.u16(); v != snapVersion {
+		return nil, fmt.Errorf("stream: snapshot version %d (supported: %d)", v, snapVersion)
+	}
+	s := &Snapshot{
+		AggEpoch:   r.u64(),
+		Window:     r.u64(),
+		Membership: r.u64(),
+	}
+	capacity := r.u32()
+	windows := r.u32()
+	if r.err == nil && (capacity < 1 || windows < 1 || windows > capacity || capacity > 1<<20) {
+		return nil, fmt.Errorf("stream: snapshot has %d windows for capacity %d", windows, capacity)
+	}
+	s.Capacity = int(capacity)
+	for i := uint32(0); i < windows && r.err == nil; i++ {
+		n := r.u32()
+		w := r.take(int(n))
+		if r.err == nil {
+			cp := make([]byte, len(w))
+			copy(cp, w)
+			s.Windows = append(s.Windows, cp)
+		}
+	}
+	for _, dst := range []*[]SnapNode{&s.Nodes, &s.Tombs} {
+		count := r.u32()
+		for i := uint32(0); i < count && r.err == nil; i++ {
+			sn, err := decodeSnapNode(r)
+			if err != nil {
+				return nil, err
+			}
+			if r.err == nil {
+				*dst = append(*dst, sn)
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("stream: snapshot has %d trailing bytes", len(r.b))
+	}
+	return s, nil
+}
+
+func decodeSnapNode(r *snapReader) (SnapNode, error) {
+	var sn SnapNode
+	nameLen := r.u16()
+	sn.Node = string(r.take(int(nameLen)))
+	stateByte := r.take(1)
+	if r.err != nil {
+		return sn, nil
+	}
+	state, err := decodeState(stateByte[0])
+	if err != nil {
+		return sn, err
+	}
+	sn.State = state
+	sn.Epoch = r.u64()
+	sn.Base = r.u64()
+	aheadCount := r.u32()
+	prev := sn.Base
+	for i := uint32(0); i < aheadCount && r.err == nil; i++ {
+		seq := r.u64()
+		if r.err != nil {
+			break
+		}
+		// Canonical form: strictly ascending, all above the low-water
+		// mark. (The tracker would have absorbed anything ≤ base.)
+		if seq <= prev {
+			return sn, fmt.Errorf("stream: snapshot node %s: non-canonical ahead set (%d after %d)", sn.Node, seq, prev)
+		}
+		prev = seq
+		sn.Ahead = append(sn.Ahead, seq)
+	}
+	sn.LastWindow = r.u64()
+	for _, dst := range []*int64{&sn.Applied, &sn.Duplicates, &sn.Dropped, &sn.Rejected, &sn.Restarts, &sn.ShedFrames, &sn.ShedFolds} {
+		*dst = int64(r.u64())
+	}
+	return sn, nil
+}
+
+// RestoreAggregator builds a new aggregator from a snapshot: the window
+// ring comes back Float64bits-identical, the dedup books still refuse
+// every frame the snapshot covers, and the membership (including
+// tombstones) survives. The restored aggregator announces AggEpoch =
+// snapshot's + 1, which is what tells reconnecting nodes to replay
+// their retained frames. opts.Windows is taken from the snapshot; the
+// sketcher must be the same consensus the snapshot's windows were
+// measured under (a mismatch is rejected by the sketch codec).
+func RestoreAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions, snap *Snapshot) (*Aggregator, error) {
+	if snap.Capacity < 1 || len(snap.Windows) < 1 || len(snap.Windows) > snap.Capacity {
+		return nil, fmt.Errorf("stream: snapshot has %d windows for capacity %d", len(snap.Windows), snap.Capacity)
+	}
+	sketches := make([]csoutlier.Sketch, len(snap.Windows))
+	for i, b := range snap.Windows {
+		s, err := csoutlier.DecodeSketch(b)
+		if err != nil {
+			return nil, fmt.Errorf("stream: snapshot window %d: %w", i, err)
+		}
+		sketches[i] = s
+	}
+	opts.Windows = snap.Capacity
+	opts.AggEpoch = snap.AggEpoch + 1
+	opts.Durable = true
+	a, err := NewAggregator(sk, opts)
+	if err != nil {
+		return nil, err
+	}
+	restore := func(group []SnapNode, live bool) error {
+		for i := range group {
+			sn := &group[i]
+			if !live && sn.State == StateLive {
+				return fmt.Errorf("stream: snapshot tombstone %s marked live", sn.Node)
+			}
+			ns := &nodeState{
+				status: NodeStatus{
+					Node:       sn.Node,
+					State:      sn.State,
+					Epoch:      sn.Epoch,
+					LastWindow: sn.LastWindow,
+					Applied:    sn.Applied,
+					Duplicates: sn.Duplicates,
+					Dropped:    sn.Dropped,
+					Rejected:   sn.Rejected,
+					Restarts:   sn.Restarts,
+					ShedFrames: sn.ShedFrames,
+					ShedFolds:  sn.ShedFolds,
+				},
+				tracker: seqTracker{base: sn.Base},
+				// Everything in the snapshot is durable by definition.
+				stable: sn.Base,
+			}
+			if len(sn.Ahead) > 0 {
+				ns.tracker.ahead = make(map[uint64]struct{}, len(sn.Ahead))
+				for _, seq := range sn.Ahead {
+					ns.tracker.ahead[seq] = struct{}{}
+				}
+			}
+			if live {
+				a.nodes[sn.Node] = ns
+			} else {
+				a.tombs[sn.Node] = ns
+				a.tombFIFO = append(a.tombFIFO, sn.Node)
+			}
+		}
+		return nil
+	}
+	closeOnErr := func(err error) (*Aggregator, error) {
+		a.Close(context.Background())
+		return nil, err
+	}
+	if err := a.ws.RestoreWindows(sketches); err != nil {
+		return closeOnErr(fmt.Errorf("stream: snapshot restore: %w", err))
+	}
+	a.mu.Lock()
+	a.window = snap.Window
+	a.member = snap.Membership
+	restoreErr := restore(snap.Nodes, true)
+	if restoreErr == nil {
+		restoreErr = restore(snap.Tombs, false)
+	}
+	if restoreErr == nil {
+		for _, sn := range snap.Tombs {
+			if _, dup := a.nodes[sn.Node]; dup {
+				restoreErr = fmt.Errorf("stream: snapshot lists %s both live and tombstoned", sn.Node)
+				break
+			}
+		}
+	}
+	a.mu.Unlock()
+	if restoreErr != nil {
+		return closeOnErr(restoreErr)
+	}
+	return a, nil
+}

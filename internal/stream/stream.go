@@ -38,20 +38,26 @@ package stream
 
 // The push protocol: one gob-framed request/response exchange per
 // frame, node-initiated (the reverse of internal/cluster's pull
-// protocol, whose aggregator is the client). Two request kinds:
+// protocol, whose aggregator is the client). Three request kinds:
 //
 //	hello  — announce (node, epoch), learn the current window; sent on
-//	         every (re)connect and as an idle heartbeat.
+//	         every (re)connect and as an idle heartbeat. Also the join
+//	         path: a node the aggregator has never seen becomes a
+//	         member on its first hello.
 //	delta  — push one window-tagged sketch delta; the payload is the
 //	         csoutlier binary sketch codec, so the full consensus
 //	         identity (M, N, seed, ensemble) travels with every delta
 //	         and a mismatched node is rejected before it can corrupt
 //	         the aggregate.
+//	bye    — announce a graceful leave: the aggregator retires the
+//	         node's membership (its dedup book is kept as a tombstone
+//	         so a late retry still dedups, never refolds).
 type pushKind uint8
 
 const (
 	pushHello pushKind = iota + 1
 	pushDelta
+	pushBye
 )
 
 // pushRequest is the node→aggregator wire frame.
@@ -61,6 +67,7 @@ type pushRequest struct {
 	Epoch   uint64
 	Window  uint64 // delta only: window ID the observations belong to
 	Seq     uint64 // delta only: per-(node, epoch) sequence number, from 1
+	Folds   uint32 // delta only: local captures merged into this frame (0/1 = plain, >1 = shed)
 	Payload []byte // delta only: csoutlier.Sketch binary codec bytes
 }
 
@@ -78,6 +85,8 @@ const (
 	StatusDroppedOld = "dropped-old"
 	// StatusHello: the ack answers a hello, not a delta.
 	StatusHello = "hello"
+	// StatusBye: the ack answers a graceful leave.
+	StatusBye = "bye"
 )
 
 // Ack is the aggregator's reply to one push frame.
@@ -94,6 +103,18 @@ type Ack struct {
 	Applied bool
 	// Status is one of the Status* constants.
 	Status string
+	// AggEpoch is the aggregator's incarnation number. It starts at 1 and
+	// is bumped on every snapshot restore; a node that sees it increase
+	// knows the aggregator may have lost recently-acked frames and
+	// replays its retained ones (the restored dedup books drop the
+	// already-durable ones as duplicates).
+	AggEpoch uint64
+	// Stable is the node's durable sequence watermark: every seq in
+	// [1, Stable] of the node's current epoch was covered by the
+	// aggregator's last committed snapshot (or folded by a non-durable
+	// aggregator, which never forgets) and can never need replay. Nodes
+	// trim their replay-retention buffer with it.
+	Stable uint64
 }
 
 // seqTracker records which delta sequence numbers of one node epoch

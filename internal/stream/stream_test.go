@@ -264,7 +264,7 @@ func TestStreamIdempotency(t *testing.T) {
 	}
 	push := func(epoch, window, seq uint64, payload []byte) Ack {
 		t.Helper()
-		ack, err := c.PushDelta("node00", epoch, window, seq, payload)
+		ack, err := c.PushDelta("node00", epoch, window, seq, 1, payload)
 		if err != nil {
 			t.Fatalf("push seq %d: %v", seq, err)
 		}
@@ -347,7 +347,7 @@ func TestStreamIdempotency(t *testing.T) {
 	if ack, err := c2.Hello("node00", 2); err != nil || ack.Err != "" {
 		t.Fatalf("hello epoch 2: %v / %q", err, ack.Err)
 	}
-	ack2, err := c2.PushDelta("node00", 2, 4, 1, deltas[5])
+	ack2, err := c2.PushDelta("node00", 2, 4, 1, 1, deltas[5])
 	if err != nil || !ack2.Applied {
 		t.Fatalf("epoch-2 seq 1: %v / %+v, want applied", err, ack2)
 	}

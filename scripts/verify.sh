@@ -14,7 +14,10 @@
 # then the streaming soak drives the push pipeline through chaos TCP
 # proxies (connection kills, a node crash/restart, duplicate deltas)
 # and checks every window bit-identically against the centralized
-# oracle. Raise -sim.count / -sim.streamcount for soak runs. The -bench mode
+# oracle — including a crash-restart flavor (aggregator snapshot,
+# kill, restore, node replay) and a membership-churn flavor (mid-run
+# join, graceful leave, eviction + resurrection). Raise -sim.count /
+# -sim.streamcount and friends for soak runs. The -bench mode
 # compiles and runs every benchmark exactly once — it catches bit-rotted
 # benchmark code without paying for a real measurement (use
 # scripts/bench.sh for that).
@@ -47,6 +50,10 @@ go test ./internal/simtest -run 'TestSim$' -sim.count=50
 echo "== streaming soak: chaos-TCP push pipeline vs per-window oracle =="
 go test ./internal/simtest -run 'TestStreamSoak$' -sim.streamcount=25
 
+echo "== durability soak: snapshot/crash/restore + membership churn =="
+go test ./internal/simtest -run 'TestStreamCrashSoak$' -sim.streamcrashcount=10
+go test ./internal/simtest -run 'TestStreamChurnSoak$' -sim.streamchurncount=10
+
 echo "== metrics smoke: /metrics + /healthz on a live csstreamd =="
 tmp=$(mktemp -d)
 daemon=""
@@ -73,7 +80,7 @@ if [ -z "$url" ]; then
 	exit 1
 fi
 "$tmp/obscheck" -url "$url" -require \
-	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total
+	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total,stream_snapshot_commits_total,stream_snapshot_errors_total,stream_snapshot_bytes,stream_snapshot_seconds,stream_membership_events_total,stream_membership_version,stream_membership_tombstones,stream_agg_epoch,stream_shed_frames_total,stream_shed_folds_total
 "$tmp/obscheck" -url "${url%/metrics}/healthz" -health
 
 echo "verify: OK"

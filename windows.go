@@ -117,6 +117,41 @@ func (w *WindowStore) AddSketch(age int, o Sketch) error {
 	return nil
 }
 
+// RestoreWindows replaces the store's contents with the given sketches,
+// oldest first (the last element becomes the open window) — the restore
+// half of a snapshot/restore cycle. The copy is Float64bits-exact: a
+// store restored from the sketches Window() returned is bit-identical
+// to the original, including the relative ring layout, so subsequent
+// Rotate/AddSketch sequences evolve it exactly as they would have the
+// original. len(sketches) must be in [1, Windows()].
+func (w *WindowStore) RestoreWindows(sketches []Sketch) error {
+	if len(sketches) < 1 || len(sketches) > len(w.ring) {
+		return fmt.Errorf("csoutlier: restore of %d windows into a %d-window store", len(sketches), len(w.ring))
+	}
+	for _, s := range sketches {
+		if err := s.compatible(w.sk.sketchID()); err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// With head = len-1, slot(age) = len-1-age: sketches[j] (age len-1-j,
+	// oldest first) lands in ring[j].
+	w.head = len(sketches) - 1
+	w.filled = len(sketches)
+	w.rotated = int64(len(sketches) - 1)
+	for i := range w.ring {
+		if i < len(sketches) {
+			copy(w.ring[i], sketches[i].Y)
+		} else {
+			for j := range w.ring[i] {
+				w.ring[i][j] = 0
+			}
+		}
+	}
+	return nil
+}
+
 // Rotate seals the current window and opens a fresh one, evicting the
 // oldest when the ring is full.
 func (w *WindowStore) Rotate() {
