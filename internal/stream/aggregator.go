@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"sort"
 	"sync"
@@ -253,6 +254,15 @@ type Aggregator struct {
 	// decision and its span snapshot — the window where a concurrent fold
 	// used to leave a mistagged cache entry.
 	testHookBeforeSnapshot func()
+
+	// snapMu serializes whole snapshot cycles (capture → encode → rename
+	// → commit). rotateLoop, snapshotLoop and Close can all request one
+	// concurrently; without ordering, an older capture's rename could
+	// land after a newer capture's rename+commit, leaving the disk
+	// holding the older dedup base while nodes have already trimmed
+	// their retention buffers to the newer one — a restore would then
+	// silently lose the frames between the two bases.
+	snapMu sync.Mutex
 
 	// qmu serializes queries so they can share the range-sketch buffers.
 	qmu       sync.Mutex
@@ -750,16 +760,21 @@ func (a *Aggregator) snapshotLoop() {
 }
 
 // maybeSnapshot writes a snapshot to the configured path, if any,
-// recording success/failure in the stream_snapshot_* families.
-func (a *Aggregator) maybeSnapshot() {
+// recording success/failure in the stream_snapshot_* families. A
+// failure is also logged: a silently stale snapshot is a durability
+// loss an operator must hear about before the next crash, not after.
+func (a *Aggregator) maybeSnapshot() error {
 	if a.opts.SnapshotPath == "" {
-		return
+		return nil
 	}
-	if err := a.WriteSnapshot(a.opts.SnapshotPath); err != nil {
+	err := a.WriteSnapshot(a.opts.SnapshotPath)
+	if err != nil {
 		if m := a.metrics; m != nil {
 			m.snapshotErrors.Inc()
 		}
+		log.Printf("stream: snapshot write failed (durability stale): %v", err)
 	}
+	return err
 }
 
 // Rotate seals the current window and opens the next. Nodes learn the
@@ -1047,7 +1062,10 @@ func (a *Aggregator) Ready() error {
 // every node connection, fold what the ingest queue already holds, and
 // stop the folder and rotation clock. ctx bounds the wait. The window
 // store stays readable after Close — final queries and reports are the
-// point of a drain.
+// point of a drain. For a durable aggregator, a failure to write the
+// final shutdown snapshot is returned (and logged): it means a restart
+// will restore stale state, which the caller must not mistake for a
+// clean shutdown.
 func (a *Aggregator) Close(ctx context.Context) error {
 	a.closeOnce.Do(func() {
 		close(a.quit)
@@ -1079,8 +1097,7 @@ func (a *Aggregator) Close(ctx context.Context) error {
 	case <-done:
 		// Final snapshot: the folder has drained, so everything acked is
 		// in the window store — the snapshot a clean restart restores.
-		a.maybeSnapshot()
-		return nil
+		return a.maybeSnapshot()
 	case <-ctx.Done():
 		return fmt.Errorf("stream: aggregator close: %w", ctx.Err())
 	}

@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -190,7 +191,15 @@ func (a *Aggregator) CommitSnapshot(snap *Snapshot) {
 // path. A crash mid-write leaves the previous snapshot intact — the
 // file at path is always a complete, CRC-valid blob. On success the
 // snapshot is committed (nodes' Stable watermarks advance).
+//
+// The whole capture→write→rename→commit sequence runs under snapMu:
+// concurrent callers (the rotation loop, the periodic snapshot loop,
+// Close) are serialized, so the snapshot on disk is always at least as
+// new as the latest committed dedup base — the commit that lets nodes
+// trim their replay-retention buffers can never outrun the rename.
 func (a *Aggregator) WriteSnapshot(path string) error {
+	a.snapMu.Lock()
+	defer a.snapMu.Unlock()
 	snap, err := a.Snapshot()
 	if err != nil {
 		return err
@@ -471,6 +480,13 @@ func RestoreAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions, snap *Sna
 	if snap.Capacity < 1 || len(snap.Windows) < 1 || len(snap.Windows) > snap.Capacity {
 		return nil, fmt.Errorf("stream: snapshot has %d windows for capacity %d", len(snap.Windows), snap.Capacity)
 	}
+	// Window IDs count from 1 and advance with every rotation, so a ring
+	// holding len(Windows) windows implies Window ≥ len(Windows); the
+	// rotation count Window-1 is what keeps WindowStore.Rotations()
+	// monotonic across the restore.
+	if snap.Window < uint64(len(snap.Windows)) || snap.Window > math.MaxInt64 {
+		return nil, fmt.Errorf("stream: snapshot window counter %d inconsistent with %d restored windows", snap.Window, len(snap.Windows))
+	}
 	sketches := make([]csoutlier.Sketch, len(snap.Windows))
 	for i, b := range snap.Windows {
 		s, err := csoutlier.DecodeSketch(b)
@@ -486,6 +502,7 @@ func RestoreAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions, snap *Sna
 	if err != nil {
 		return nil, err
 	}
+	now := time.Now()
 	restore := func(group []SnapNode, live bool) error {
 		for i := range group {
 			sn := &group[i]
@@ -517,6 +534,13 @@ func RestoreAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions, snap *Sna
 				}
 			}
 			if live {
+				// LastSeen is not snapshotted (wall-clock state of a dead
+				// process is meaningless); stamp restore time so the evict
+				// loop gives every restored node a full EvictAfter grace
+				// period to reconnect instead of retiring it on the first
+				// tick — a cascade that could push dedup books replaying
+				// nodes still need past the tombstone cap.
+				ns.status.LastSeen = now
 				a.nodes[sn.Node] = ns
 			} else {
 				a.tombs[sn.Node] = ns
@@ -529,7 +553,7 @@ func RestoreAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions, snap *Sna
 		a.Close(context.Background())
 		return nil, err
 	}
-	if err := a.ws.RestoreWindows(sketches); err != nil {
+	if err := a.ws.RestoreWindows(sketches, int64(snap.Window-1)); err != nil {
 		return closeOnErr(fmt.Errorf("stream: snapshot restore: %w", err))
 	}
 	a.mu.Lock()

@@ -232,6 +232,16 @@ func TestSnapshotRestoreExact(t *testing.T) {
 		}
 		sameBits(t, fmt.Sprintf("window age %d", age), got, want)
 	}
+	if got, want := restored.ws.Rotations(), agg.ws.Rotations(); got != want {
+		t.Fatalf("restored Rotations() = %d, want %d (monotonic across restore)", got, want)
+	}
+	// Restored live nodes carry a fresh LastSeen: the evict loop must
+	// grant them a full grace period to reconnect, not retire the whole
+	// membership on its first tick.
+	if n := restored.EvictIdle(time.Minute); n != 0 {
+		t.Fatalf("EvictIdle right after restore evicted %d nodes, want 0", n)
+	}
+
 	wantNodes := agg.Nodes()
 	gotNodes := restored.Nodes()
 	if len(gotNodes) != len(wantNodes) {
@@ -414,6 +424,104 @@ func TestSnapshotWhileFolding(t *testing.T) {
 		}
 	}
 	wg.Wait()
+}
+
+// TestConcurrentSnapshotCommitOrder hammers WriteSnapshot from two
+// goroutines concurrently with folds (run under -race) and checks the
+// serialization invariant: the snapshot on disk is always at least as
+// new as the latest committed dedup base. Without WriteSnapshot's
+// snapMu, an older capture's rename can land after a newer capture's
+// rename+commit — nodes would trim retention to a watermark the disk
+// snapshot does not cover, losing frames on the next restore.
+func TestConcurrentSnapshotCommitOrder(t *testing.T) {
+	sk := testSketcher(t, 64, 32, 13)
+	agg, err := NewAggregator(sk, AggregatorOptions{Windows: 2, Durable: true})
+	if err != nil {
+		t.Fatalf("NewAggregator: %v", err)
+	}
+	defer agg.Close(context.Background())
+	path := filepath.Join(t.TempDir(), "agg.snap")
+	payload := uniformDelta(t, sk, 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for seq := uint64(1); ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req := pushRequest{
+				Kind: pushDelta, Node: "alpha", Epoch: 1,
+				Window: agg.CurrentWindow(), Seq: seq, Folds: 1, Payload: payload,
+			}
+			if ack := agg.apply(req); ack.Err != "" {
+				t.Errorf("apply seq %d: %s", seq, ack.Err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := agg.WriteSnapshot(path); err != nil {
+					t.Errorf("WriteSnapshot: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		// Read the committed watermark BEFORE loading the disk snapshot:
+		// the disk only moves forward, so base(disk, later) ≥ stable(now)
+		// must hold even while writers race.
+		var stable uint64
+		for _, ns := range agg.Nodes() {
+			if ns.Node == "alpha" {
+				stable = ns.Stable
+			}
+		}
+		snap, err := LoadSnapshot(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // nothing on disk yet
+			}
+			t.Fatalf("LoadSnapshot: %v", err)
+		}
+		var base uint64
+		for _, sn := range snap.Nodes {
+			if sn.Node == "alpha" {
+				base = sn.Base + uint64(len(sn.Ahead))
+			}
+		}
+		if base < stable {
+			t.Fatalf("disk snapshot covers seq %d but committed stable watermark is %d — a restore would lose frames", base, stable)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCloseReportsSnapshotFailure pins the durability signal: when the
+// final shutdown snapshot cannot be written, Close must return the
+// error instead of reporting a clean shutdown over stale state.
+func TestCloseReportsSnapshotFailure(t *testing.T) {
+	sk := testSketcher(t, 64, 32, 9)
+	path := filepath.Join(t.TempDir(), "missing-dir", "agg.snap")
+	agg, err := NewAggregator(sk, AggregatorOptions{Windows: 2, SnapshotPath: path})
+	if err != nil {
+		t.Fatalf("NewAggregator: %v", err)
+	}
+	if err := agg.Close(context.Background()); err == nil {
+		t.Fatal("Close returned nil although the final snapshot could not be written")
+	}
+	if got := agg.Stats().SnapshotErrors; got < 1 {
+		t.Fatalf("SnapshotErrors = %d, want ≥ 1", got)
+	}
 }
 
 // TestWriteSnapshotAtomic checks the atomic-rename discipline: a

@@ -123,10 +123,17 @@ func (w *WindowStore) AddSketch(age int, o Sketch) error {
 // store restored from the sketches Window() returned is bit-identical
 // to the original, including the relative ring layout, so subsequent
 // Rotate/AddSketch sequences evolve it exactly as they would have the
-// original. len(sketches) must be in [1, Windows()].
-func (w *WindowStore) RestoreWindows(sketches []Sketch) error {
+// original. rotations is the original store's lifetime Rotate count, so
+// Rotations() stays monotonic across the cycle rather than restarting
+// relative to the restored ring; a ring carrying len(sketches)-1 sealed
+// windows has rotated at least that often, so rotations must be ≥
+// len(sketches)-1, and len(sketches) must be in [1, Windows()].
+func (w *WindowStore) RestoreWindows(sketches []Sketch, rotations int64) error {
 	if len(sketches) < 1 || len(sketches) > len(w.ring) {
 		return fmt.Errorf("csoutlier: restore of %d windows into a %d-window store", len(sketches), len(w.ring))
+	}
+	if rotations < int64(len(sketches)-1) {
+		return fmt.Errorf("csoutlier: restore of %d windows implies ≥ %d rotations, got %d", len(sketches), len(sketches)-1, rotations)
 	}
 	for _, s := range sketches {
 		if err := s.compatible(w.sk.sketchID()); err != nil {
@@ -139,7 +146,7 @@ func (w *WindowStore) RestoreWindows(sketches []Sketch) error {
 	// oldest first) lands in ring[j].
 	w.head = len(sketches) - 1
 	w.filled = len(sketches)
-	w.rotated = int64(len(sketches) - 1)
+	w.rotated = rotations
 	for i := range w.ring {
 		if i < len(sketches) {
 			copy(w.ring[i], sketches[i].Y)

@@ -135,6 +135,42 @@ func TestWindowStoreRangeEqualsConcatenation(t *testing.T) {
 	}
 }
 
+func TestWindowStoreRestoreRotations(t *testing.T) {
+	sk, keys := windowFixture(t)
+	ws, _ := sk.NewWindowStore(3)
+	if err := ws.Observe(keys[0], 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ws.Rotate()
+	}
+	var sketches []Sketch
+	for age := ws.Available() - 1; age >= 0; age-- {
+		w, err := ws.Window(age)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketches = append(sketches, w)
+	}
+	restored, _ := sk.NewWindowStore(3)
+	if err := restored.RestoreWindows(sketches, ws.Rotations()); err != nil {
+		t.Fatalf("RestoreWindows: %v", err)
+	}
+	// Rotations continues monotonically across the cycle instead of
+	// restarting relative to the restored ring.
+	if got, want := restored.Rotations(), ws.Rotations(); got != want {
+		t.Fatalf("restored Rotations() = %d, want %d", got, want)
+	}
+	restored.Rotate()
+	if got := restored.Rotations(); got != 6 {
+		t.Fatalf("Rotations() after restore+rotate = %d, want 6", got)
+	}
+	// A rotation count below the sealed-window floor is inconsistent.
+	if err := restored.RestoreWindows(sketches, int64(len(sketches)-2)); err == nil {
+		t.Fatal("restore with too-low rotation count accepted")
+	}
+}
+
 func TestWindowStoreEviction(t *testing.T) {
 	sk, keys := windowFixture(t)
 	ws, _ := sk.NewWindowStore(2)
