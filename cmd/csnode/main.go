@@ -64,8 +64,9 @@ func main() {
 		pushChunk  = flag.Int("push-chunk", 256, "keys observed per delta flush in -push mode")
 		m          = flag.Int("m", 0, "measurement count M for -push mode (must match the daemon)")
 		seed       = flag.Uint64("seed", 42, "consensus measurement seed for -push mode")
-		ensemble   = flag.String("ensemble", "gaussian", "measurement ensemble for -push mode: gaussian, sparse or srht")
+		ensemble   = flag.String("ensemble", "gaussian", "measurement ensemble for -push mode: gaussian, sparse, srht or countsketch")
 		sparseD    = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
+		depth      = flag.Int("depth", 0, "hash-row count for -ensemble countsketch, in [1,64] (0 = 5)")
 		epoch      = flag.Uint64("epoch", 1, "incarnation number for -push mode; bump after a restart so the daemon resets this node's sequence space")
 		pushShed   = flag.Int("push-shed-at", 8, "pending-frame threshold where new captures merge into the newest pending frame instead of queueing (admission control; 0 = refuse at the queue cap instead)")
 		pushRetain = flag.Int("push-retain", 1024, "acked frames retained for replay after an aggregator restore (-1 = none: a restore may silently lose recent deltas)")
@@ -122,7 +123,7 @@ func main() {
 			log.Fatalf("csnode: %v", err)
 		}
 		sk, err := csoutlier.NewSketcher(dict.Keys(), csoutlier.Config{
-			M: *m, Seed: *seed, Ensemble: ens, SparseD: *sparseD,
+			M: *m, Seed: *seed, Ensemble: ens, SparseD: *sparseD, Depth: *depth,
 		})
 		if err != nil {
 			log.Fatalf("csnode: %v", err)
@@ -200,8 +201,10 @@ func parseEnsemble(name string) (csoutlier.Ensemble, error) {
 		return csoutlier.SparseRademacher, nil
 	case "srht":
 		return csoutlier.SRHT, nil
+	case "countsketch":
+		return csoutlier.CountSketch, nil
 	}
-	return 0, fmt.Errorf("unknown ensemble %q (want gaussian, sparse or srht)", name)
+	return 0, fmt.Errorf("unknown ensemble %q (want gaussian, sparse, srht or countsketch)", name)
 }
 
 func loadDict(path string) (*keydict.Dictionary, error) {

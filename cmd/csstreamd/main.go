@@ -24,6 +24,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,8 +40,11 @@ func main() {
 		dictPath    = flag.String("dict", "", "global key dictionary file (one key per line, sorted)")
 		m           = flag.Int("m", 0, "measurement count M (sketch length)")
 		seed        = flag.Uint64("seed", 42, "consensus measurement seed")
-		ensemble    = flag.String("ensemble", "gaussian", "measurement ensemble: gaussian, sparse or srht")
+		ensemble    = flag.String("ensemble", "gaussian", "measurement ensemble: gaussian, sparse, srht or countsketch")
 		sparseD     = flag.Int("sparse-d", 0, "per-column density for -ensemble sparse (0 = max(8, M/16))")
+		depth       = flag.Int("depth", 0, "hash-row count for -ensemble countsketch, in [1,64] (0 = 5)")
+		watch       = flag.String("watch", "", "comma-separated keys to point-query in every report (requires -ensemble countsketch)")
+		watchThresh = flag.Float64("watch-threshold", 0, "flag a watched key as an outlier when it deviates from the span mode by at least this much (0 = just report values)")
 		windows     = flag.Int("windows", 8, "window ring size: current window plus windows-1 sealed ones stay queryable")
 		windowEvery = flag.Duration("window-every", 10*time.Minute, "wall-clock window rotation period (0 = never rotate)")
 		queue       = flag.Int("queue", 64, "ingest queue depth; when full, TCP backpressure reaches the nodes")
@@ -73,10 +77,14 @@ func main() {
 		log.Fatalf("csstreamd: %v", err)
 	}
 	sk, err := csoutlier.NewSketcher(dict.Keys(), csoutlier.Config{
-		M: *m, Seed: *seed, Ensemble: ens, SparseD: *sparseD,
+		M: *m, Seed: *seed, Ensemble: ens, SparseD: *sparseD, Depth: *depth,
 	})
 	if err != nil {
 		log.Fatalf("csstreamd: %v", err)
+	}
+	watched := splitKeys(*watch)
+	if len(watched) > 0 && !sk.SupportsPointQuery() {
+		log.Fatalf("csstreamd: -watch needs -ensemble countsketch (got %s)", *ensemble)
 	}
 
 	reg := obs.NewRegistry()
@@ -141,7 +149,7 @@ func main() {
 	for {
 		select {
 		case <-tick:
-			report(agg, *k, *span)
+			report(agg, *k, *span, watched, *watchThresh)
 		case sig := <-sigc:
 			log.Printf("csstreamd: %v: draining", sig)
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -150,14 +158,29 @@ func main() {
 			if err != nil {
 				log.Printf("csstreamd: %v", err)
 			}
-			report(agg, *k, *span) // final state, after the drain
+			report(agg, *k, *span, watched, *watchThresh) // final state, after the drain
 			return
 		}
 	}
 }
 
-// report prints the standing outlier query and the node/ingest state.
-func report(agg *stream.Aggregator, k, span int) {
+// splitKeys parses a comma-separated -watch list, dropping empties.
+func splitKeys(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var keys []string
+	for _, k := range strings.Split(s, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// report prints the standing outlier query, the point-query watchlist
+// and the node/ingest state.
+func report(agg *stream.Aggregator, k, span int, watched []string, watchThresh float64) {
 	avail := agg.AvailableWindows()
 	if span <= 0 || span > avail {
 		span = avail
@@ -166,6 +189,10 @@ func report(agg *stream.Aggregator, k, span int) {
 	log.Printf("window %d: %d deltas applied (%d dup, %d dropped, %d rejected), %d rotations, cache %d/%d hit, %d warm starts, %d batch refreshes",
 		s.Window, s.Applied, s.Duplicates, s.Dropped, s.Rejected, s.Rotations, s.CacheHits, s.CacheHits+s.CacheMisses,
 		s.WarmStarts, s.BatchRefreshes)
+	if s.PointQueries > 0 {
+		log.Printf("  point queries: %d answered, %d span refreshes, %d outliers",
+			s.PointQueries, s.PointRefreshes, s.PointOutliers)
+	}
 	log.Printf("  epoch %d membership v%d: %d joins, %d leaves, %d evictions, %d tombstones; %d shed frames (%d extra folds); %d snapshots (%d errors, last %dB)",
 		s.AggEpoch, s.Membership, s.Joins, s.Leaves, s.Evictions, s.Tombstones,
 		s.ShedFrames, s.ShedFolds, s.Snapshots, s.SnapshotErrors, s.SnapshotBytes)
@@ -176,6 +203,20 @@ func report(agg *stream.Aggregator, k, span int) {
 	}
 	if s.Applied == 0 {
 		return
+	}
+	// Watched keys answer from the recovery-free point path: O(depth)
+	// each once the span's state is warm, regardless of k or N.
+	for _, key := range watched {
+		ans, err := agg.PointQuery(0, span-1, key, watchThresh)
+		if err != nil {
+			log.Printf("  watch %-40s error: %v", key, err)
+			continue
+		}
+		mark := ""
+		if ans.Outlier {
+			mark = "  OUTLIER"
+		}
+		log.Printf("  watch %-40s value %.6g (divergence %+.6g)%s", key, ans.Value, ans.Deviation, mark)
 	}
 	rep, err := agg.Outliers(0, span-1, k)
 	if err != nil {
@@ -197,6 +238,8 @@ func parseEnsemble(name string) (csoutlier.Ensemble, error) {
 		return csoutlier.SparseRademacher, nil
 	case "srht":
 		return csoutlier.SRHT, nil
+	case "countsketch":
+		return csoutlier.CountSketch, nil
 	}
-	return 0, fmt.Errorf("unknown ensemble %q (want gaussian, sparse or srht)", name)
+	return 0, fmt.Errorf("unknown ensemble %q (want gaussian, sparse, srht or countsketch)", name)
 }

@@ -63,6 +63,15 @@ const (
 	// per iteration. Use for dense slices and large M. Single-key
 	// updates (Updater.Observe) still cost O(M).
 	SRHT
+	// CountSketch is the bias-aware count-sketch (Chen & Zhang): Depth
+	// hash rows of M/Depth signed buckets. It is a perfectly ordinary
+	// linear Φ — Updater, WindowStore, the push protocol and BOMP span
+	// queries all work unchanged — but additionally answers single-key
+	// point queries in O(Depth) with no recovery at all, via
+	// Sketcher.NewPointState. Ingest is the cheapest of any ensemble
+	// (O(Depth) per pair); recovery quality trails the Gaussian family,
+	// so size M generously when span top-k reports matter too.
+	CountSketch
 )
 
 // Config parameterizes a Sketcher.
@@ -82,6 +91,10 @@ type Config struct {
 	// SparseD is the per-column non-zero count for SparseRademacher
 	// (0 = max(8, M/16)). Ignored for Gaussian.
 	SparseD int
+	// Depth is the CountSketch hash-row count, in [1, 64] (0 = 5; odd
+	// values make the point estimator's median an order statistic).
+	// Each row gets M/Depth buckets. Ignored for other ensembles.
+	Depth int
 }
 
 // Outlier is one detected outlier.
@@ -124,7 +137,7 @@ type Sketch struct {
 	n    int
 	seed uint64
 	ens  Ensemble
-	d    int // SparseRademacher density (0 for Gaussian)
+	d    int // per-ensemble shape: SparseRademacher density or CountSketch depth (0 otherwise)
 }
 
 // Clone returns an independent copy.
@@ -315,6 +328,12 @@ func NewSketcher(keys []string, cfg Config) (*Sketcher, error) {
 		mat, err = sensing.NewSparseRademacher(p, d)
 	case SRHT:
 		mat, err = sensing.NewSRHT(p)
+	case CountSketch:
+		d := cfg.Depth
+		if d <= 0 {
+			d = sensing.DefaultCountSketchDepth
+		}
+		mat, err = sensing.NewCountSketch(p, d)
 	default:
 		return nil, fmt.Errorf("csoutlier: unknown ensemble %d", cfg.Ensemble)
 	}
@@ -322,10 +341,16 @@ func NewSketcher(keys []string, cfg Config) (*Sketcher, error) {
 		return nil, err
 	}
 	recMat := mat
-	if _, dense := mat.(*sensing.Dense); !dense {
+	switch mat.(type) {
+	case *sensing.Dense:
+		// Already materialized.
+	case *sensing.CountSketch:
+		// Regenerating a column is Depth hashes — cheaper than the cache's
+		// O(M) copy-out, so caching would only add memory.
+	default:
 		// Regenerating ensembles pay O(M)+ PRNG (or transform) work per
 		// column fetch; the recovery engine refetches the same support
-		// columns every generation. Dense already materializes.
+		// columns every generation.
 		recMat = sensing.NewColumnCache(mat, 0)
 	}
 	return &Sketcher{cfg: cfg, dict: dict, params: p, matrix: mat, recMat: recMat}, nil
@@ -348,8 +373,11 @@ func (s *Sketcher) CompressionRatio() float64 { return s.params.CompressionRatio
 // — enough for compatibility checks, with no O(M) allocation.
 func (s *Sketcher) sketchID() Sketch {
 	d := 0
-	if sr, ok := s.matrix.(*sensing.SparseRademacher); ok {
-		d = sr.D()
+	switch m := s.matrix.(type) {
+	case *sensing.SparseRademacher:
+		d = m.D()
+	case *sensing.CountSketch:
+		d = m.Depth()
 	}
 	return Sketch{
 		m: s.params.M, n: s.params.N, seed: s.params.Seed,

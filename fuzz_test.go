@@ -38,6 +38,22 @@ func FuzzDecodeSketch(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	truncated := append([]byte(nil), valid[:len(valid)-3]...)
 	f.Add(truncated)
+	// A count-sketch frame: same format, non-zero ensemble and depth
+	// bytes, so the fuzzer starts from the new backend's header shape too.
+	csk, err := NewSketcher([]string{"a", "b", "c", "d"}, Config{M: 4, Seed: 5, Ensemble: CountSketch, Depth: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ycsk, err := csk.SketchPairs(map[string]float64{"b": 2.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	validCsk, err := ycsk.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validCsk)
+	f.Add(validCsk[:len(validCsk)-5])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeSketch(data) // must never panic
@@ -68,6 +84,10 @@ func FuzzClusterFrameDecoder(f *testing.F) {
 	f.Add(valid)
 	f.Add(append(append([]byte(nil), valid...), valid...)) // two requests back to back
 	f.Add(valid[:len(valid)/2])                            // truncated mid-frame
+	cskSpec := sensing.Spec{Params: sensing.Params{M: 4, N: 8, Seed: 9}, Kind: sensing.KindCountSketch, D: 2}
+	if cskValid, err := cluster.SketchRequestFrame(cskSpec); err == nil {
+		f.Add(cskValid)
+	}
 	f.Add(append(append([]byte(nil), valid...), cluster.GarbageFrame()...))
 	f.Add(cluster.GarbageFrame())
 	f.Add([]byte{})

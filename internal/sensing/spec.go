@@ -13,6 +13,9 @@ const (
 	KindSparseRademacher
 	// KindSRHT is the subsampled randomized Hadamard transform.
 	KindSRHT
+	// KindCountSketch is the bias-aware count-sketch: depth rows of
+	// hashed ±1/√depth buckets, the recovery-free point-query backend.
+	KindCountSketch
 )
 
 // String implements fmt.Stringer.
@@ -24,6 +27,8 @@ func (k Kind) String() string {
 		return "sparse"
 	case KindSRHT:
 		return "srht"
+	case KindCountSketch:
+		return "countsketch"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -38,8 +43,10 @@ func ParseKind(s string) (Kind, error) {
 		return KindSparseRademacher, nil
 	case "srht":
 		return KindSRHT, nil
+	case "countsketch":
+		return KindCountSketch, nil
 	default:
-		return 0, fmt.Errorf("sensing: unknown ensemble %q (want gaussian, sparse or srht)", s)
+		return 0, fmt.Errorf("sensing: unknown ensemble %q (want gaussian, sparse, srht or countsketch)", s)
 	}
 }
 
@@ -50,8 +57,9 @@ func ParseKind(s string) (Kind, error) {
 type Spec struct {
 	Params
 	Kind Kind
-	// D is the SparseRademacher per-column density (ignored otherwise;
-	// 0 means max(8, M/16)).
+	// D is the ensemble's per-column shape knob: the SparseRademacher
+	// density (0 means max(8, M/16)) or the CountSketch row count
+	// (0 means 5). Ignored for Gaussian and SRHT.
 	D int
 }
 
@@ -74,7 +82,7 @@ func (s Spec) Validate() error {
 	if s.D < 0 {
 		return fmt.Errorf("sensing: negative sparse density D=%d", s.D)
 	}
-	if s.Kind > KindSRHT {
+	if s.Kind > KindCountSketch {
 		return fmt.Errorf("sensing: unknown ensemble kind %d", s.Kind)
 	}
 	return nil
@@ -91,6 +99,19 @@ func (s Spec) density() int {
 	}
 	return d
 }
+
+// depth resolves the CountSketch row-count default.
+func (s Spec) depth() int {
+	if s.D > 0 {
+		return s.D
+	}
+	return DefaultCountSketchDepth
+}
+
+// DefaultCountSketchDepth is the row count a zero D resolves to for the
+// count-sketch ensemble: 5 rows — odd, so the point estimator's median
+// is an order statistic that survives two outlier collisions.
+const DefaultCountSketchDepth = 5
 
 // New instantiates the matrix a Spec describes. For the Gaussian family
 // it picks the stored representation when M·N fits under denseLimit and
@@ -109,6 +130,8 @@ func New(spec Spec, denseLimit int64) (Matrix, error) {
 		return NewSparseRademacher(spec.Params, spec.density())
 	case KindSRHT:
 		return NewSRHT(spec.Params)
+	case KindCountSketch:
+		return NewCountSketch(spec.Params, spec.depth())
 	default:
 		return nil, fmt.Errorf("sensing: unknown ensemble kind %d", spec.Kind)
 	}

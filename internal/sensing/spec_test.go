@@ -19,6 +19,23 @@ func TestSpecDensityDefault(t *testing.T) {
 	if d := s.density(); d != 3 {
 		t.Fatalf("explicit density = %d", d)
 	}
+	cs := Spec{Params: Params{M: 320, N: 400}, Kind: KindCountSketch}
+	if d := cs.depth(); d != DefaultCountSketchDepth {
+		t.Fatalf("depth default = %d, want %d", d, DefaultCountSketchDepth)
+	}
+	cs.D = 7
+	if d := cs.depth(); d != 7 {
+		t.Fatalf("explicit depth = %d", d)
+	}
+	if k, err := ParseKind("countsketch"); err != nil || k != KindCountSketch {
+		t.Fatalf("ParseKind(countsketch) = %v, %v", k, err)
+	}
+	if KindCountSketch.String() != "countsketch" {
+		t.Fatalf("String = %q", KindCountSketch.String())
+	}
+	if err := (Spec{Params: Params{M: 10, N: 40}, Kind: KindCountSketch + 1}).Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown kind")
+	}
 }
 
 func TestSpecNewAgreesWithDirectConstructors(t *testing.T) {
@@ -27,6 +44,7 @@ func TestSpecNewAgreesWithDirectConstructors(t *testing.T) {
 		GaussianSpec(p),
 		{Params: p, Kind: KindSparseRademacher, D: 4},
 		{Params: p, Kind: KindSRHT},
+		{Params: p, Kind: KindCountSketch, D: 4},
 	} {
 		m, err := New(spec, 0)
 		if err != nil {
@@ -40,6 +58,8 @@ func TestSpecNewAgreesWithDirectConstructors(t *testing.T) {
 			direct, err = NewSparseRademacher(p, 4)
 		case KindSRHT:
 			direct, err = NewSRHT(p)
+		case KindCountSketch:
+			direct, err = NewCountSketch(p, 4)
 		}
 		if err != nil {
 			t.Fatal(err)

@@ -13,8 +13,10 @@ var (
 		"number of randomized crash-restart scenarios TestStreamCrashSoak checks")
 	flagStreamChurnCount = flag.Int("sim.streamchurncount", 2,
 		"number of randomized membership-churn scenarios TestStreamChurnSoak checks")
+	flagStreamPointQCount = flag.Int("sim.streampointqcount", 2,
+		"number of randomized point-query scenarios TestStreamPointQSoak checks")
 	flagStreamReplay = flag.String("sim.streamreplay", "",
-		"replay a single streaming scenario from its failure-message one-liner (any flavor: stream1, streamcrash1, streamchurn1)")
+		"replay a single streaming scenario from its failure-message one-liner (any flavor: stream1, streamcrash1, streamchurn1, streampointq1)")
 )
 
 // replayStream dispatches a -sim.streamreplay line to the scenario
@@ -41,6 +43,11 @@ func replayStream(t *testing.T, line string) bool {
 		var scn StreamChurnScenario
 		if scn, err = ParseStreamChurnScenario(line); err == nil {
 			err = CheckStreamChurnScenario(scn)
+		}
+	case "streampointq1":
+		var scn StreamPointQScenario
+		if scn, err = ParseStreamPointQScenario(line); err == nil {
+			err = CheckStreamPointQScenario(scn)
 		}
 	default:
 		t.Fatalf("unknown streaming scenario prefix %q", prefix)
@@ -122,6 +129,68 @@ func TestStreamChurnSoak(t *testing.T) {
 					i, base, err, scn)
 			}
 		})
+	}
+}
+
+// TestStreamPointQSoak is the point-query soak entry point: randomized
+// scenarios pushing window-tagged deltas into a live count-sketch
+// aggregator, with recovery-free point queries issued both mid-run and
+// over every window span at the end. Every answer must agree with the
+// exact centralized oracle: planted outliers recovered to matchTol and
+// flagged, clean keys on the mode and unflagged; the hybrid span top-k
+// path must stay exact on the same ring.
+func TestStreamPointQSoak(t *testing.T) {
+	if replayStream(t, *flagStreamReplay) {
+		return
+	}
+	base := baseSeed(t)
+	for i := 0; i < *flagStreamPointQCount; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			scn := GenerateStreamPointQ(base, i)
+			if err := CheckStreamPointQScenario(scn); err != nil {
+				t.Fatalf("point-query scenario %d (base seed %d) failed: %v\n"+
+					"replay: go test ./internal/simtest -run 'TestStreamPointQSoak$' -sim.streamreplay='%s'",
+					i, base, err, scn)
+			}
+		})
+	}
+}
+
+// TestStreamPointQScenarioRoundTrip covers the point-query scenario
+// codec and generator invariants.
+func TestStreamPointQScenarioRoundTrip(t *testing.T) {
+	base := baseSeed(t)
+	for i := 0; i < 8; i++ {
+		scn := GenerateStreamPointQ(base, i)
+		if err := scn.validate(); err != nil {
+			t.Fatalf("scenario %d invalid: %v\n%s", i, err, scn)
+		}
+		if scn.M() != scn.Depth*scn.Width || scn.M() > scn.N/2 {
+			t.Fatalf("scenario %d loses the ≥2× compression floor: %s", i, scn)
+		}
+		rt, err := ParseStreamPointQScenario(scn.String())
+		if err != nil {
+			t.Fatalf("scenario %d does not round-trip: %v\n%s", i, err, scn)
+		}
+		if rt.String() != scn.String() {
+			t.Fatalf("round-trip changed scenario:\n%s\n%s", scn, rt)
+		}
+		if b := GenerateStreamPointQ(base, i); b.String() != scn.String() {
+			t.Fatalf("GenerateStreamPointQ(%d, %d) not deterministic", base, i)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"streampointq1 seed=1",
+		"streampointq1 seed=1 n=100 s=2 l=3 w=2 d=7 wid=96 k=2 mode=50 noise=0",  // M > N
+		"streampointq1 seed=1 n=2000 s=2 l=3 w=2 d=0 wid=96 k=2 mode=50 noise=0", // depth 0
+		"streampointq1 seed=1 n=2000 s=2 l=3 w=2 d=7 wid=96 k=2 mode=0 noise=0",  // zero mode
+	} {
+		if _, err := ParseStreamPointQScenario(bad); err == nil {
+			t.Errorf("ParseStreamPointQScenario(%q) accepted invalid line", bad)
+		}
 	}
 }
 

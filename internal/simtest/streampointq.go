@@ -1,0 +1,545 @@
+package simtest
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"csoutlier"
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/outlier"
+	"csoutlier/internal/stream"
+	"csoutlier/internal/xrand"
+)
+
+// pointThreshold is the detection threshold every point query in this
+// flavor uses. buildStreamData plants per-window magnitudes of at least
+// 100, so 50 splits true single-window outliers from clean keys with a
+// 2× margin; on multi-window spans the checker compares each flag
+// against the exact span deviation instead of assuming the plant stayed
+// hot (per-window signs are random, so spans can cancel).
+const pointThreshold = 50
+
+// pointProbeClean is how many seeded clean (non-planted) keys the
+// checker samples per span: enough to catch a biased estimator, small
+// enough to keep a scenario under a second.
+const pointProbeClean = 48
+
+// pointMidProbeClean is the clean-key sample size for mid-run probes
+// (issued between flushes and rotations while the aggregator is live).
+const pointMidProbeClean = 8
+
+// pointFlagBand is the dead zone around the threshold inside which the
+// checker does not assert the Outlier flag: the estimate is exact only
+// to floating-point accumulation error, so a span whose exact deviation
+// lands within the band could honestly flag either way. Deviations are
+// continuous functions of the seed, so landing inside the band is a
+// measure-≈0 event; everywhere else the flag must match the oracle.
+const pointFlagBand = 1e-3
+
+// StreamPointQScenario is one fully specified point-query soak: W
+// windows of per-node data pushed as deltas into a live count-sketch
+// stream.Aggregator, with recovery-free point queries issued both
+// mid-run (between flushes and rotations) and over every window span at
+// the end, each answer compared against the exact centralized oracle.
+// The span top-k path is checked once per scenario too — the hybrid
+// deployment shape, where the same folded window ring serves both BOMP
+// span queries and O(depth) point lookups.
+type StreamPointQScenario struct {
+	Seed  uint64
+	N     int     // key-space size
+	S     int     // planted outliers (same positions every window)
+	L     int     // node count
+	W     int     // windows driven
+	Depth int     // count-sketch hash rows (M = Depth·Width)
+	Width int     // count-sketch buckets per row
+	K     int     // outliers per span top-k query
+	Mode  float64 // base bias; per-window biases are seeded multiples
+	Noise float64 // per-node zero-sum noise amplitude per window
+}
+
+// M is the scenario's measurement budget: Depth hash rows of Width
+// buckets each.
+func (s StreamPointQScenario) M() int { return s.Depth * s.Width }
+
+// GenerateStreamPointQ derives point-query scenario index from the base
+// seed. Depth and width are kept large relative to S so that a clean
+// key's median estimate is corrupted only if a majority of its hash
+// rows collide with planted outliers — at S ≤ 3 over ≥ 96 buckets that
+// is a ≲1e-4-per-key event, far below the soak's probe budget.
+func GenerateStreamPointQ(base uint64, index int) StreamPointQScenario {
+	rng := xrand.New(base).Split(uint64(index) + 0x901f42e5)
+	scn := StreamPointQScenario{Seed: rng.Uint64()}
+	scn.S = 1 + rng.Intn(3)
+	scn.Depth = 7 + 2*rng.Intn(2)   // 7 or 9 rows
+	scn.Width = 96 + 32*rng.Intn(3) // 96, 128 or 160 buckets
+	m := scn.M()
+	scn.N = 2*m + rng.Intn(m+1) // ≥ 2× compression
+	scn.K = 1 + rng.Intn(scn.S+1)
+	scn.Mode = 100 + 4900*rng.Float64() // nonzero: every node flushes every window
+	if rng.Float64() < 0.5 {
+		scn.Mode = -scn.Mode
+	}
+	if rng.Float64() < 0.6 {
+		scn.Noise = (math.Abs(scn.Mode) + 500) * (0.1 + rng.Float64())
+	}
+	scn.L = 3 + rng.Intn(3)
+	scn.W = 2 + rng.Intn(3)
+	return scn
+}
+
+func (s StreamPointQScenario) validate() error {
+	switch {
+	case s.N < 4 || s.S < 1 || s.S > s.N/4:
+		return fmt.Errorf("simtest: pointq scenario N=%d S=%d out of range", s.N, s.S)
+	case s.L < 2:
+		return fmt.Errorf("simtest: pointq scenario needs ≥ 2 nodes, got %d", s.L)
+	case s.W < 1:
+		return fmt.Errorf("simtest: W=%d", s.W)
+	case s.Depth < 1 || s.Depth > 64:
+		return fmt.Errorf("simtest: depth %d outside [1, 64]", s.Depth)
+	case s.Width < 2:
+		return fmt.Errorf("simtest: width %d < 2", s.Width)
+	case s.M() > s.N:
+		return fmt.Errorf("simtest: M=%d exceeds N=%d (no compression)", s.M(), s.N)
+	case s.K < 1:
+		return fmt.Errorf("simtest: K=%d", s.K)
+	case s.Mode == 0:
+		return fmt.Errorf("simtest: pointq scenarios need a nonzero mode")
+	}
+	return nil
+}
+
+// String encodes the scenario as a replayable one-liner.
+func (s StreamPointQScenario) String() string {
+	return fmt.Sprintf("streampointq1 seed=%d n=%d s=%d l=%d w=%d d=%d wid=%d k=%d mode=%g noise=%g",
+		s.Seed, s.N, s.S, s.L, s.W, s.Depth, s.Width, s.K, s.Mode, s.Noise)
+}
+
+// ParseStreamPointQScenario decodes a StreamPointQScenario.String() line.
+func ParseStreamPointQScenario(line string) (StreamPointQScenario, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 || fields[0] != "streampointq1" {
+		return StreamPointQScenario{}, fmt.Errorf("simtest: pointq scenario line must start with %q", "streampointq1")
+	}
+	var scn StreamPointQScenario
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return StreamPointQScenario{}, fmt.Errorf("simtest: malformed field %q", f)
+		}
+		var err error
+		switch key {
+		case "seed":
+			scn.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "n":
+			scn.N, err = strconv.Atoi(val)
+		case "s":
+			scn.S, err = strconv.Atoi(val)
+		case "l":
+			scn.L, err = strconv.Atoi(val)
+		case "w":
+			scn.W, err = strconv.Atoi(val)
+		case "d":
+			scn.Depth, err = strconv.Atoi(val)
+		case "wid":
+			scn.Width, err = strconv.Atoi(val)
+		case "k":
+			scn.K, err = strconv.Atoi(val)
+		case "mode":
+			scn.Mode, err = strconv.ParseFloat(val, 64)
+		case "noise":
+			scn.Noise, err = strconv.ParseFloat(val, 64)
+		default:
+			err = fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return StreamPointQScenario{}, fmt.Errorf("simtest: field %q: %v", f, err)
+		}
+	}
+	return scn, scn.validate()
+}
+
+// BuildStream materializes the scenario deterministically.
+func (s StreamPointQScenario) BuildStream() (*StreamData, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	splits := make([]int, s.W)
+	for w := range splits {
+		splits[w] = s.L
+	}
+	return buildStreamData(s.Seed, s.N, s.S, s.Mode, s.Noise, splits), nil
+}
+
+// cleanProbes returns the scenario's deterministic clean-key sample:
+// pointProbeClean distinct indices outside the planted support.
+func (s StreamPointQScenario) cleanProbes(d *StreamData) []int {
+	hot := make(map[int]bool, len(d.Support))
+	for _, j := range d.Support {
+		hot[j] = true
+	}
+	rng := xrand.New(s.Seed).Split(0x9b0be5)
+	seen := make(map[int]bool, pointProbeClean)
+	out := make([]int, 0, pointProbeClean)
+	for len(out) < pointProbeClean {
+		j := rng.Intn(s.N)
+		if hot[j] || seen[j] {
+			continue
+		}
+		seen[j] = true
+		out = append(out, j)
+	}
+	return out
+}
+
+// pointProbe is one mid-run point query RunStreamPointQ recorded for
+// the checker: issued after `Window` windows had been flushed (and
+// before the next rotation), over window ages [FromAge, ToAge].
+type pointProbe struct {
+	Window  int // windows completed when the probe was issued (1-based)
+	FromAge int
+	ToAge   int
+	Index   int // key index probed
+	Ans     csoutlier.PointAnswer
+}
+
+// StreamPointQResult is what RunStreamPointQ hands to the checker: the
+// live aggregator (drained and closed, window ring still queryable),
+// the shadow-mirrored expected window sketches, and the mid-run probes.
+type StreamPointQResult struct {
+	Agg      *stream.Aggregator
+	Expected []csoutlier.Sketch // [w] bit-exact expected sketch of window w+1
+	Mid      []pointProbe
+}
+
+// RunStreamPointQ executes the streaming pipeline for real: a TCP
+// stream.Aggregator over a count-sketch sketcher, one stream.Node per
+// simulated node, W windows driven as mid-window delta flushes with a
+// shadow Updater mirror. After each window's flushes — while the
+// aggregator is live and about to rotate — it issues point queries over
+// the newest window and the full span so far, recording the answers for
+// the checker. No chaos here: fault injection is the other flavors' job;
+// this one pins query-path correctness on a deterministic fold sequence.
+func RunStreamPointQ(scn StreamPointQScenario, data *StreamData) (*StreamPointQResult, error) {
+	sk, err := csoutlier.NewSketcher(data.Keys, csoutlier.Config{
+		M:             scn.M(),
+		Seed:          scn.Seed ^ 0x9e3779b97f4a7c15,
+		MaxIterations: recoveryBudget(scn.S, scn.K),
+		Ensemble:      csoutlier.CountSketch,
+		Depth:         scn.Depth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg, err := stream.NewAggregator(sk, stream.AggregatorOptions{Windows: scn.W})
+	if err != nil {
+		return nil, err
+	}
+	if !agg.SupportsPointQuery() {
+		return nil, fmt.Errorf("simtest: count-sketch aggregator does not support point queries")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go agg.Serve(ln)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	closeAgg := func() {
+		cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+		agg.Close(cctx)
+		ccancel()
+	}
+
+	nodes := make([]*stream.Node, scn.L)
+	shadow := make([]*csoutlier.Updater, scn.L)
+	for l := range nodes {
+		n, err := stream.Dial(ctx, ln.Addr().String(), sk, NodeID(l), stream.NodeOptions{
+			Epoch:       1,
+			PushTimeout: 2 * time.Second,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  20 * time.Millisecond,
+			BackoffSeed: xrand.New(scn.Seed).Split(0xbac0ff ^ uint64(l)<<8).Uint64(),
+		})
+		if err != nil {
+			closeAgg()
+			return nil, fmt.Errorf("simtest: dial node %d: %w", l, err)
+		}
+		nodes[l] = n
+		shadow[l] = sk.NewUpdater()
+	}
+
+	clean := scn.cleanProbes(data)
+	res := &StreamPointQResult{Agg: agg}
+	scratch := sk.ZeroSketch()
+	for w := 1; w <= scn.W; w++ {
+		expected := sk.ZeroSketch()
+		for l := 0; l < scn.L; l++ {
+			slice := data.WinSlices[w-1][l]
+			for c := 0; c < streamChunks; c++ {
+				lo, hi := len(slice)*c/streamChunks, len(slice)*(c+1)/streamChunks
+				for idx := lo; idx < hi; idx++ {
+					v := slice[idx]
+					if v == 0 {
+						continue
+					}
+					if err := nodes[l].Observe(data.Keys[idx], v); err != nil {
+						closeAgg()
+						return nil, fmt.Errorf("simtest: node %d observe: %w", l, err)
+					}
+					if err := shadow[l].Observe(data.Keys[idx], v); err != nil {
+						closeAgg()
+						return nil, err
+					}
+				}
+				if err := nodes[l].Flush(ctx); err != nil {
+					closeAgg()
+					return nil, fmt.Errorf("simtest: node %d flush (window %d): %w", l, w, err)
+				}
+				if _, err := shadow[l].DrainInto(scratch); err != nil {
+					closeAgg()
+					return nil, err
+				}
+				if err := expected.Add(scratch); err != nil {
+					closeAgg()
+					return nil, err
+				}
+			}
+		}
+		res.Expected = append(res.Expected, expected)
+
+		// Mid-run probes: every flush above was acked, so the window ring
+		// holds exactly windows 1..w. Probe the newest window alone and
+		// the whole span so far, on the planted keys plus a small clean
+		// sample. Answers are checked later against the exact oracle.
+		spans := [][2]int{{0, 0}}
+		if w > 1 {
+			spans = append(spans, [2]int{0, w - 1})
+		}
+		probes := append(append([]int{}, data.Support...), clean[:pointMidProbeClean]...)
+		for _, span := range spans {
+			for _, idx := range probes {
+				ans, err := agg.PointQuery(span[0], span[1], data.Keys[idx], pointThreshold)
+				if err != nil {
+					closeAgg()
+					return nil, fmt.Errorf("simtest: mid-run point query window %d span [%d,%d] key %d: %w",
+						w, span[0], span[1], idx, err)
+				}
+				res.Mid = append(res.Mid, pointProbe{
+					Window: w, FromAge: span[0], ToAge: span[1], Index: idx, Ans: ans,
+				})
+			}
+		}
+
+		if w < scn.W {
+			agg.Rotate()
+			for l := range nodes {
+				if err := nodes[l].Sync(ctx); err != nil {
+					closeAgg()
+					return nil, fmt.Errorf("simtest: node %d sync: %w", l, err)
+				}
+			}
+		}
+	}
+
+	for l := range nodes {
+		if err := nodes[l].Close(ctx); err != nil {
+			closeAgg()
+			return nil, fmt.Errorf("simtest: node %d close: %w", l, err)
+		}
+	}
+	cctx, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = agg.Close(cctx)
+	ccancel()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// pointSpanTruth is the exact centralized ground truth for one window
+// span: the uncompressed aggregate and its exact majority mode.
+type pointSpanTruth struct {
+	sum  linalg.Vector
+	mode float64
+}
+
+func pointTruthFor(n int, d *StreamData, wFrom, wTo int) (pointSpanTruth, error) {
+	sum := make(linalg.Vector, n)
+	for w := wFrom; w <= wTo; w++ {
+		sum.Add(d.WinGlobal[w-1])
+	}
+	mode, ok := outlier.Mode(sum)
+	if !ok {
+		return pointSpanTruth{}, fmt.Errorf("simtest: span [%d,%d] has no exact majority mode", wFrom, wTo)
+	}
+	return pointSpanTruth{sum: sum, mode: mode}, nil
+}
+
+// checkPointAnswer compares one PointAnswer against the exact span
+// truth: mode and value within matchTol, Deviation = Value − Mode, and
+// the Outlier flag equal to the oracle's verdict whenever the exact
+// deviation is not inside the pointFlagBand dead zone around the
+// threshold.
+func checkPointAnswer(truth pointSpanTruth, idx int, ans csoutlier.PointAnswer) error {
+	exact := truth.sum[idx]
+	if !closeRel(ans.Mode, truth.mode) {
+		return fmt.Errorf("key %d: mode %v, oracle %v", idx, ans.Mode, truth.mode)
+	}
+	if !closeRel(ans.Value, exact) {
+		return fmt.Errorf("key %d: value %v, oracle %v", idx, ans.Value, exact)
+	}
+	if ans.Deviation != ans.Value-ans.Mode {
+		return fmt.Errorf("key %d: deviation %v != value %v − mode %v", idx, ans.Deviation, ans.Value, ans.Mode)
+	}
+	dev := math.Abs(exact - truth.mode)
+	if math.Abs(dev-pointThreshold) <= pointFlagBand {
+		return nil // exact deviation inside the dead zone: either flag is honest
+	}
+	if want := dev >= pointThreshold; ans.Outlier != want {
+		return fmt.Errorf("key %d: outlier flag %v, oracle deviation %v vs threshold %v says %v",
+			idx, ans.Outlier, dev, float64(pointThreshold), want)
+	}
+	return nil
+}
+
+// CheckStreamPointQScenario is the point-query soak's unit of work:
+// materialize the scenario, drive the real push pipeline into a
+// count-sketch aggregator with mid-run probes, then check (1) every
+// per-window sketch is bit-identical to the shadow fold, (2) every
+// mid-run and final point query agrees with the exact centralized
+// oracle — planted keys recovered to matchTol and flagged correctly,
+// clean keys on the mode and never flagged (outside the threshold dead
+// zone), (3) the hybrid span top-k path still matches the oracle on the
+// same ring, and (4) the pointq_* books balance.
+func CheckStreamPointQScenario(scn StreamPointQScenario) error {
+	data, err := scn.BuildStream()
+	if err != nil {
+		return err
+	}
+	res, err := RunStreamPointQ(scn, data)
+	if err != nil {
+		return err
+	}
+
+	// (1) Bit-identical per-window global sketches.
+	for w := 1; w <= scn.W; w++ {
+		age := scn.W - w
+		got, err := res.Agg.WindowSketch(age)
+		if err != nil {
+			return fmt.Errorf("window %d (age %d): %w", w, age, err)
+		}
+		want := res.Expected[w-1]
+		for i := range got.Y {
+			if math.Float64bits(got.Y[i]) != math.Float64bits(want.Y[i]) {
+				return fmt.Errorf("window %d sketch diverges from shadow fold at Y[%d]: %v != %v (bit-exact)",
+					w, i, got.Y[i], want.Y[i])
+			}
+		}
+	}
+
+	// (2a) Mid-run probes against the exact oracle. A probe issued after
+	// window w at ages [from, to] covers windows [w−to, w−from].
+	truths := map[[2]int]pointSpanTruth{}
+	truthFor := func(wFrom, wTo int) (pointSpanTruth, error) {
+		if tr, ok := truths[[2]int{wFrom, wTo}]; ok {
+			return tr, nil
+		}
+		tr, err := pointTruthFor(scn.N, data, wFrom, wTo)
+		if err == nil {
+			truths[[2]int{wFrom, wTo}] = tr
+		}
+		return tr, err
+	}
+	flagged := int64(0)
+	for _, p := range res.Mid {
+		tr, err := truthFor(p.Window-p.ToAge, p.Window-p.FromAge)
+		if err != nil {
+			return err
+		}
+		if p.Ans.Outlier {
+			flagged++
+		}
+		if err := checkPointAnswer(tr, p.Index, p.Ans); err != nil {
+			return fmt.Errorf("mid-run probe after window %d, span ages [%d,%d]: %w",
+				p.Window, p.FromAge, p.ToAge, err)
+		}
+	}
+
+	// (2b) Final sweep: every contiguous window span, every planted key
+	// plus the full clean sample, against the exact oracle.
+	clean := scn.cleanProbes(data)
+	probes := append(append([]int{}, data.Support...), clean...)
+	queries := int64(len(res.Mid))
+	for from := 0; from < scn.W; from++ {
+		for to := from; to < scn.W; to++ {
+			tr, err := truthFor(scn.W-to, scn.W-from)
+			if err != nil {
+				return err
+			}
+			for _, idx := range probes {
+				ans, err := res.Agg.PointQuery(from, to, data.Keys[idx], pointThreshold)
+				queries++
+				if err != nil {
+					return fmt.Errorf("span [%d,%d] point query key %d: %w", from, to, idx, err)
+				}
+				if ans.Outlier {
+					flagged++
+				}
+				if err := checkPointAnswer(tr, idx, ans); err != nil {
+					return fmt.Errorf("span [%d,%d]: %w", from, to, err)
+				}
+			}
+		}
+	}
+
+	// (3) Hybrid mode: the same ring still answers the span top-k query
+	// through BOMP recovery, exactly.
+	rep, err := res.Agg.Outliers(0, scn.W-1, scn.K)
+	if err != nil {
+		return fmt.Errorf("hybrid span top-k: %w", err)
+	}
+	ans, err := streamSpanOracle(scn.N, scn.K, data, 1, scn.W)
+	if err != nil {
+		return err
+	}
+	if err := compareReport(rep, ans); err != nil {
+		return fmt.Errorf("hybrid span top-k differential oracle: %w", err)
+	}
+
+	// (4) The pointq books balance: every query counted exactly once,
+	// every flag counted, refreshes within [distinct spans, queries],
+	// and the registry agrees with the AggStats snapshot.
+	stats := res.Agg.Stats()
+	if stats.PointQueries != queries {
+		return fmt.Errorf("PointQueries = %d, issued %d", stats.PointQueries, queries)
+	}
+	if stats.PointOutliers != flagged {
+		return fmt.Errorf("PointOutliers = %d, observed %d flagged answers", stats.PointOutliers, flagged)
+	}
+	spans := int64(scn.W * (scn.W + 1) / 2)
+	if stats.PointRefreshes < spans || stats.PointRefreshes > queries {
+		return fmt.Errorf("PointRefreshes = %d outside [%d distinct spans, %d queries]",
+			stats.PointRefreshes, spans, queries)
+	}
+	if reg := res.Agg.MetricsRegistry(); reg != nil {
+		for _, c := range []struct {
+			name string
+			want int64
+		}{
+			{"pointq_queries_total", stats.PointQueries},
+			{"pointq_refreshes_total", stats.PointRefreshes},
+			{"pointq_outliers_total", stats.PointOutliers},
+		} {
+			if got := reg.Counter(c.name, "").Value(); got != c.want {
+				return fmt.Errorf("registry %s = %d, AggStats says %d", c.name, got, c.want)
+			}
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"csoutlier"
@@ -141,6 +142,14 @@ type AggStats struct {
 	// BatchRefreshes counts stale standing queries refreshed by
 	// piggybacking on another query's recovery batch.
 	BatchRefreshes int64
+	// PointQueries counts recovery-free single-key queries;
+	// PointRefreshes is how many of them had to re-fold their span's
+	// sketch from the ring (the rest answered from a committed state in
+	// O(depth)); PointOutliers is how many crossed the caller's
+	// threshold.
+	PointQueries   int64
+	PointRefreshes int64
+	PointOutliers  int64
 	// AggEpoch is the aggregator's incarnation (bumped on restore);
 	// Membership versions the member set (bumped on join/leave/evict).
 	AggEpoch   uint64
@@ -215,6 +224,34 @@ type queryResult struct {
 // only guards against a caller sweeping many distinct (span, k) tuples.
 const cacheCap = 64
 
+// pointKey identifies one cached point-query state: a window-age span.
+// Unlike the recovery cache there is no k — point queries answer one
+// key at a time from the same committed state.
+type pointKey struct {
+	fromAge, toAge int
+}
+
+// pointState is one span's recovery-free point-query engine plus the
+// fold generation its committed sketch belongs to. gen and the
+// PointState's buffer are written only under a.pmu held exclusively;
+// the fast path reads them under a.pmu shared.
+type pointState struct {
+	ps  *csoutlier.PointState
+	gen uint64
+	seq uint64 // insertion order, for eviction
+}
+
+// pointCacheCap bounds the point-state cache. Each entry owns one
+// M-float sketch buffer; dashboards watch a handful of spans, so the
+// cap only guards a caller sweeping many distinct spans.
+const pointCacheCap = 32
+
+// pointSampleMask picks which point queries get wall-clock timing:
+// query ticks where tick&mask == 1, i.e. the first query and then 1 in
+// 256. A warm point query is O(depth) — a few hundred nanoseconds —
+// so unsampled clock reads would dominate the thing they measure.
+const pointSampleMask = 255
+
 // batchRefreshCap bounds how many stale standing queries piggyback on
 // one cache miss's batched recovery pass.
 const batchRefreshCap = 16
@@ -239,9 +276,18 @@ type Aggregator struct {
 	metrics  *aggMetrics // registry-backed counters; nil only in bare benchmarks
 	foldTick uint64      // frame counter for sampled fold timing; folder goroutine only
 
-	mu       sync.Mutex
-	window   uint64                // current window ID, from 1
-	gen      uint64                // bumped on every fold/rotation; versions the cache
+	// pointTick counts point queries for sampled latency timing. Unlike
+	// foldTick it is bumped from arbitrary caller goroutines, so it is
+	// atomic.
+	pointTick atomic.Uint64
+
+	mu     sync.Mutex
+	window uint64 // current window ID, from 1
+	// gen is the fold generation: bumped on every fold/rotation, it
+	// versions both the recovery cache and the point-state cache. Writes
+	// happen under a.mu (paired with the data change they version);
+	// reads are atomic so the point-query fast path never touches a.mu.
+	gen      atomic.Uint64
 	epoch    uint64                // aggregator incarnation; bumped by RestoreAggregator
 	member   uint64                // membership version; bumped on join/leave/evict
 	nodes    map[string]*nodeState // live members
@@ -267,6 +313,13 @@ type Aggregator struct {
 	// qmu serializes queries so they can share the range-sketch buffers.
 	qmu       sync.Mutex
 	qsketches []csoutlier.Sketch // one per batched recovery slot, grown on demand
+
+	// pmu guards the point-state cache. Readers (the PointQuery fast
+	// path) hold it shared and only read committed states; the slow path
+	// holds it exclusively while it refreshes a span from the ring.
+	pmu      sync.RWMutex
+	points   map[pointKey]*pointState
+	pointSeq uint64 // insertion clock for point-state eviction
 
 	ingest chan ingestItem
 
@@ -300,6 +353,7 @@ func NewAggregator(sk *csoutlier.Sketcher, opts AggregatorOptions) (*Aggregator,
 		nodes:      make(map[string]*nodeState),
 		tombs:      make(map[string]*nodeState),
 		cache:      make(map[queryKey]queryResult),
+		points:     make(map[pointKey]*pointState),
 		ingest:     make(chan ingestItem, opts.QueueDepth),
 		conns:      make(map[net.Conn]struct{}),
 		quit:       make(chan struct{}),
@@ -719,7 +773,7 @@ func (a *Aggregator) applyFrame(req pushRequest) Ack {
 	if req.Window > ns.status.LastWindow {
 		ns.status.LastWindow = req.Window
 	}
-	a.gen++ // new data: recovery cache entries are now stale
+	a.gen.Add(1) // new data: recovery and point-state caches are now stale
 	ack.Applied = true
 	ack.Status = StatusApplied
 	return ackStable()
@@ -786,7 +840,7 @@ func (a *Aggregator) Rotate() uint64 {
 	defer a.mu.Unlock()
 	a.ws.Rotate()
 	a.window++
-	a.gen++
+	a.gen.Add(1)
 	if m := a.metrics; m != nil {
 		m.rotations.Inc()
 	}
@@ -828,7 +882,7 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 	defer a.qmu.Unlock()
 	m := a.metrics
 	a.mu.Lock()
-	if r, ok := a.cache[key]; ok && r.gen == a.gen {
+	if r, ok := a.cache[key]; ok && r.gen == a.gen.Load() {
 		// A repeat of a cached query marks it standing: it is worth
 		// refreshing speculatively when some other query misses.
 		r.standing = true
@@ -868,7 +922,7 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 		standing bool
 	}
 	a.mu.Lock()
-	gen := a.gen
+	gen := a.gen.Load()
 	slots := make([]slot, 1, 1+batchRefreshCap)
 	slots[0] = slot{key: key}
 	if prev, ok := a.cache[key]; ok {
@@ -881,7 +935,7 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 		if len(slots) >= 1+batchRefreshCap {
 			break
 		}
-		if k2 != key && v.standing && v.gen != a.gen {
+		if k2 != key && v.standing && v.gen != gen {
 			slots = append(slots, slot{key: k2, warm: v.sel, standing: true})
 		}
 	}
@@ -940,8 +994,9 @@ func (a *Aggregator) insertCacheLocked(key queryKey, r queryResult) {
 	if len(a.cache) <= cacheCap {
 		return
 	}
+	cur := a.gen.Load()
 	for k, v := range a.cache {
-		if k != key && v.gen != a.gen {
+		if k != key && v.gen != cur {
 			delete(a.cache, k)
 		}
 	}
@@ -956,6 +1011,142 @@ func (a *Aggregator) insertCacheLocked(key queryKey, r queryResult) {
 			return // only the fresh entry is left
 		}
 		delete(a.cache, oldest)
+	}
+}
+
+// SupportsPointQuery reports whether the aggregator's sketch backend
+// answers recovery-free point queries (i.e. PointQuery will work).
+func (a *Aggregator) SupportsPointQuery() bool { return a.sk.SupportsPointQuery() }
+
+// PointQuery answers a single-key outlier check over window ages
+// [fromAge, toAge] (0 = the open window) straight from the folded
+// ring: the key's aggregated value is estimated from the count-sketch
+// cells it hashes into — no BOMP, no recovery cache, no top-k. The
+// key is classified an outlier when its estimate deviates from the
+// span's mode by at least threshold (threshold ≤ 0 skips
+// classification and just estimates).
+//
+// States are cached per span and refreshed only when a fold or
+// rotation changes the underlying data, so a warm query is O(depth):
+// a shared-lock acquire, one atomic generation check, and depth hashed
+// cell reads — zero allocations (see BenchmarkPointQuery). Requires
+// the CountSketch ensemble; other backends get csoutlier
+// .ErrNoPointQuery. Span top-k detection stays on Outliers — the two
+// paths serve the same ring and agree on the mode by construction.
+func (a *Aggregator) PointQuery(fromAge, toAge int, key string, threshold float64) (csoutlier.PointAnswer, error) {
+	m := a.metrics
+	var start time.Time
+	timed := false
+	if m != nil {
+		m.pointQueries.Inc()
+		timed = a.pointTick.Add(1)&pointSampleMask == 1
+		if timed {
+			start = time.Now()
+		}
+	}
+	pk := pointKey{fromAge: fromAge, toAge: toAge}
+	// Fast path: a state committed at the current fold generation
+	// answers under the shared lock. st.gen is written only under pmu
+	// held exclusively, and apply/Rotate bump a.gen after (not before)
+	// mutating the ring, so a generation match proves the committed
+	// sketch still equals the span's current contents.
+	a.pmu.RLock()
+	st, ok := a.points[pk]
+	if ok && st.gen == a.gen.Load() {
+		ans, err := st.ps.Query(key, threshold)
+		a.pmu.RUnlock()
+		if m != nil {
+			if err == nil && ans.Outlier {
+				m.pointOutliers.Inc()
+			}
+			if timed {
+				m.pointSeconds.Observe(time.Since(start).Seconds())
+			}
+		}
+		return ans, err
+	}
+	a.pmu.RUnlock()
+	ans, err := a.pointQuerySlow(pk, key, threshold)
+	if m != nil {
+		if err == nil && ans.Outlier {
+			m.pointOutliers.Inc()
+		}
+		if timed {
+			m.pointSeconds.Observe(time.Since(start).Seconds())
+		}
+	}
+	return ans, err
+}
+
+// pointQuerySlow refreshes (or creates) the span's point state and
+// answers from it. The span snapshot and the fold generation are read
+// under one a.mu critical section — the same pairing discipline as
+// Outliers — so the state is tagged with exactly the generation whose
+// data it holds. The O(M log M) mode re-estimate runs outside a.mu:
+// it only reads the state's private buffer, so ingest never stalls on
+// a commit.
+func (a *Aggregator) pointQuerySlow(pk pointKey, key string, threshold float64) (csoutlier.PointAnswer, error) {
+	a.pmu.Lock()
+	defer a.pmu.Unlock()
+	st, ok := a.points[pk]
+	if !ok || st.gen != a.gen.Load() {
+		var ps *csoutlier.PointState
+		if ok {
+			ps = st.ps
+		} else {
+			var err error
+			if ps, err = a.sk.NewPointState(); err != nil {
+				return csoutlier.PointAnswer{}, err
+			}
+		}
+		a.mu.Lock()
+		gen := a.gen.Load()
+		err := a.ws.RangeInto(pk.fromAge, pk.toAge, ps.Sketch())
+		a.mu.Unlock()
+		if err != nil {
+			return csoutlier.PointAnswer{}, err
+		}
+		ps.Commit()
+		if ok {
+			st.gen = gen
+		} else {
+			st = &pointState{ps: ps, gen: gen}
+			a.insertPointLocked(pk, st)
+		}
+		if m := a.metrics; m != nil {
+			m.pointRefreshes.Inc()
+		}
+	}
+	return st.ps.Query(key, threshold)
+}
+
+// insertPointLocked stores a span's point state and bounds the cache:
+// stale-generation entries go first (they can never fast-path again
+// without a refresh), then the oldest-inserted live ones.
+func (a *Aggregator) insertPointLocked(pk pointKey, st *pointState) {
+	a.pointSeq++
+	st.seq = a.pointSeq
+	a.points[pk] = st
+	if len(a.points) <= pointCacheCap {
+		return
+	}
+	cur := a.gen.Load()
+	for k, v := range a.points {
+		if k != pk && v.gen != cur {
+			delete(a.points, k)
+		}
+	}
+	for len(a.points) > pointCacheCap {
+		oldest, oldestSeq := pk, uint64(0)
+		for k, v := range a.points {
+			if k != pk && (oldest == pk || v.seq < oldestSeq) {
+				oldest, oldestSeq = k, v.seq
+			}
+		}
+		if oldest == pk {
+			return // only the fresh entry is left
+		}
+		delete(a.points, oldest)
 	}
 }
 
@@ -1026,6 +1217,9 @@ func (a *Aggregator) Stats() AggStats {
 	s.CacheMisses = m.cacheMisses.Value()
 	s.WarmStarts = m.warmStarts.Value()
 	s.BatchRefreshes = m.batchRefreshes.Value()
+	s.PointQueries = m.pointQueries.Value()
+	s.PointRefreshes = m.pointRefreshes.Value()
+	s.PointOutliers = m.pointOutliers.Value()
 	s.Joins = m.joins.Value()
 	s.Leaves = m.leaves.Value()
 	s.Evictions = m.evictions.Value()

@@ -160,6 +160,101 @@ func BenchmarkSnapshotWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkPointQuery measures the warm recovery-free point-query fast
+// path: one shared-lock acquire, one atomic generation check, depth
+// hashed cell reads. The acceptance bar is 0 allocs/op and ≥50× the
+// cold single-key BOMP answer (BenchmarkDetectQueryCold, same
+// aggregator shape).
+func BenchmarkPointQuery(b *testing.B) {
+	agg, key := benchPointAggregator(b)
+	if _, err := agg.PointQuery(0, 0, key, 1000); err != nil {
+		b.Fatal(err) // warm the span's point state
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.PointQuery(0, 0, key, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPointQueryParallel is the dashboard shape: many goroutines
+// hammering warm point queries concurrently. The fast path holds pmu
+// only shared, so throughput should scale with cores until the RLock
+// cache line saturates.
+func BenchmarkPointQueryParallel(b *testing.B) {
+	agg, key := benchPointAggregator(b)
+	if _, err := agg.PointQuery(0, 0, key, 1000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := agg.PointQuery(0, 0, key, 1000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDetectQueryCold is the before picture: answering one key's
+// outlier status through the span top-k path when the recovery cache
+// cannot help — every iteration folds a delta (staling the cache) and
+// pays a full BOMP recovery. Same count-sketch aggregator as
+// BenchmarkPointQuery, so the ratio isolates the query path.
+func BenchmarkDetectQueryCold(b *testing.B) {
+	agg, _ := benchPointAggregator(b)
+	payload := benchDelta(b, agg.sk)
+	seq := uint64(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ack := agg.apply(pushRequest{
+			Kind: pushDelta, Node: "bench", Epoch: 1,
+			Window: 1, Seq: seq, Payload: payload,
+		})
+		if !ack.Applied {
+			b.Fatalf("fold not applied: %+v", ack)
+		}
+		seq++
+		if _, err := agg.Outliers(0, 0, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPointAggregator builds a count-sketch aggregator (N=4096,
+// M=448, depth 7 → width 64) with one folded delta, plus a key to
+// query.
+func benchPointAggregator(b *testing.B) (*Aggregator, string) {
+	b.Helper()
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%05d", i)
+	}
+	sk, err := csoutlier.NewSketcher(keys, csoutlier.Config{
+		M: 448, Seed: 99, Ensemble: csoutlier.CountSketch, Depth: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg, err := NewAggregator(sk, AggregatorOptions{Windows: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { agg.Close(context.Background()) })
+	ack := agg.apply(pushRequest{
+		Kind: pushDelta, Node: "bench", Epoch: 1,
+		Window: 1, Seq: 1, Payload: benchDelta(b, sk),
+	})
+	if !ack.Applied {
+		b.Fatalf("seed fold not applied: %+v", ack)
+	}
+	return agg, keys[17]
+}
+
 func benchSketcher(b *testing.B, n, m int) *csoutlier.Sketcher {
 	b.Helper()
 	keys := make([]string, n)

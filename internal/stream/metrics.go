@@ -29,6 +29,11 @@ type aggMetrics struct {
 	batchRefreshes *obs.Counter
 	foldSeconds    *obs.Histogram
 
+	pointQueries   *obs.Counter
+	pointRefreshes *obs.Counter
+	pointOutliers  *obs.Counter
+	pointSeconds   *obs.Histogram
+
 	snapshots       *obs.Counter
 	snapshotErrors  *obs.Counter
 	snapshotBytes   *obs.Gauge
@@ -86,6 +91,18 @@ func newAggMetrics(reg *obs.Registry, a *Aggregator) *aggMetrics {
 			"stale standing queries refreshed by piggybacking on another query's recovery batch"),
 		foldSeconds: reg.Histogram("stream_fold_seconds",
 			"wall time folding one delta frame into the window store (sampled: first frame, then 1 in 16)", obs.LatencyBuckets()),
+		// The pointq_* families are registered unconditionally — on a
+		// non-count-sketch backend every PointQuery errors, but the
+		// families still exist (at zero), so a scrape checker can
+		// require them regardless of the configured ensemble.
+		pointQueries: reg.Counter("pointq_queries_total",
+			"recovery-free point queries answered (all outcomes)"),
+		pointRefreshes: reg.Counter("pointq_refreshes_total",
+			"point-state rebuilds: a query found its span's committed sketch stale and re-folded it from the ring"),
+		pointOutliers: reg.Counter("pointq_outliers_total",
+			"point queries whose key deviated from the span mode by at least the caller's threshold"),
+		pointSeconds: reg.Histogram("pointq_seconds",
+			"wall time answering one point query (sampled: first query, then 1 in 256)", obs.LatencyBuckets()),
 		snapshots: reg.Counter("stream_snapshot_commits_total",
 			"snapshots committed (nodes' stable watermarks advanced)"),
 		snapshotErrors: reg.Counter("stream_snapshot_errors_total",

@@ -48,8 +48,8 @@ echo "== kernels: internal/sensing (benchtime=$BENCHTIME count=$COUNT) =="
 go test -run - -bench 'BenchmarkKernel' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/sensing/ | tee -a "$raw"
 echo "== end-to-end: internal/recovery =="
 go test -run - -bench 'BenchmarkRecovery|BenchmarkBatchedRecovery|BenchmarkWarmStartBOMP' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/recovery/ | tee -a "$raw"
-echo "== streaming ingest + durability: internal/stream =="
-go test -run - -bench 'BenchmarkStream|BenchmarkSnapshotWrite' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/stream/ | tee -a "$raw"
+echo "== streaming ingest + durability + point queries: internal/stream =="
+go test -run - -bench 'BenchmarkStream|BenchmarkSnapshotWrite|BenchmarkPointQuery|BenchmarkDetectQueryCold' -benchmem -benchtime "$BENCHTIME" -count "$COUNT" ./internal/stream/ | tee -a "$raw"
 
 if [ -n "$label" ]; then
 	go run ./cmd/benchjson parse -label "$label" < "$raw" > "$cur"

@@ -15,8 +15,10 @@
 # proxies (connection kills, a node crash/restart, duplicate deltas)
 # and checks every window bit-identically against the centralized
 # oracle — including a crash-restart flavor (aggregator snapshot,
-# kill, restore, node replay) and a membership-churn flavor (mid-run
-# join, graceful leave, eviction + resurrection). Raise -sim.count /
+# kill, restore, node replay), a membership-churn flavor (mid-run
+# join, graceful leave, eviction + resurrection), and a point-query
+# flavor (recovery-free count-sketch point answers vs the exact oracle,
+# mid-run and over every window span). Raise -sim.count /
 # -sim.streamcount and friends for soak runs. The -bench mode
 # compiles and runs every benchmark exactly once — it catches bit-rotted
 # benchmark code without paying for a real measurement (use
@@ -54,6 +56,9 @@ echo "== durability soak: snapshot/crash/restore + membership churn =="
 go test ./internal/simtest -run 'TestStreamCrashSoak$' -sim.streamcrashcount=10
 go test ./internal/simtest -run 'TestStreamChurnSoak$' -sim.streamchurncount=10
 
+echo "== point-query soak: recovery-free count-sketch answers vs exact oracle =="
+go test ./internal/simtest -run 'TestStreamPointQSoak$' -sim.streampointqcount=10
+
 echo "== metrics smoke: /metrics + /healthz on a live csstreamd =="
 tmp=$(mktemp -d)
 daemon=""
@@ -80,7 +85,7 @@ if [ -z "$url" ]; then
 	exit 1
 fi
 "$tmp/obscheck" -url "$url" -require \
-	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total,stream_snapshot_commits_total,stream_snapshot_errors_total,stream_snapshot_bytes,stream_snapshot_seconds,stream_membership_events_total,stream_membership_version,stream_membership_tombstones,stream_agg_epoch,stream_shed_frames_total,stream_shed_folds_total
+	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total,stream_snapshot_commits_total,stream_snapshot_errors_total,stream_snapshot_bytes,stream_snapshot_seconds,stream_membership_events_total,stream_membership_version,stream_membership_tombstones,stream_agg_epoch,stream_shed_frames_total,stream_shed_folds_total,pointq_queries_total,pointq_refreshes_total,pointq_outliers_total,pointq_seconds
 "$tmp/obscheck" -url "${url%/metrics}/healthz" -health
 
 echo "verify: OK"

@@ -15,7 +15,7 @@ import (
 //	n        uint32
 //	seed     uint64
 //	ensemble uint8
-//	density  uint32   (SparseRademacher D; 0 for Gaussian)
+//	density  uint32   (SparseRademacher D or CountSketch depth; 0 otherwise)
 //	payload  m × float64 (little endian)
 //	crc32    uint32 (IEEE, over everything above)
 //

@@ -181,6 +181,109 @@ func TestSketchCodecHeaderCorruptionProperty(t *testing.T) {
 	}
 }
 
+// TestCountSketchCodecFrames runs the wire-frame gauntlet on the
+// count-sketch backend: round-trip (with the depth identity intact and
+// the decoded sketch usable by BOTH query paths), every truncation, and
+// every single-byte CRC corruption.
+func TestCountSketchCodecFrames(t *testing.T) {
+	keys := testKeys(60)
+	sk, err := NewSketcher(keys, Config{M: 20, Seed: 41, Ensemble: CountSketch, Depth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := sk.SketchPairs(map[string]float64{keys[2]: 7.5, keys[9]: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := y.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sk.UnmarshalSketch(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ens != CountSketch || back.d != 5 {
+		t.Fatalf("decoded identity ens=%d d=%d, want CountSketch depth 5", back.ens, back.d)
+	}
+	for i := range y.Y {
+		if math.Float64bits(back.Y[i]) != math.Float64bits(y.Y[i]) {
+			t.Fatalf("payload differs at %d", i)
+		}
+	}
+	// Decoded frames feed both serving paths: BOMP recovery and the
+	// recovery-free point estimator.
+	if _, err := sk.Detect(back, 2); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := sk.NewPointState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(ps.Sketch().Y, back.Y)
+	ps.Commit()
+	if _, err := ps.Query(keys[2], 0); err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeSketch(valid[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	for pos := 0; pos < len(valid); pos++ {
+		for _, mask := range []byte{0x01, 0x80, 0xff} {
+			corrupt := append([]byte(nil), valid...)
+			corrupt[pos] ^= mask
+			s, err := DecodeSketch(corrupt)
+			if err != nil {
+				continue
+			}
+			out, err := s.MarshalBinary()
+			if err != nil {
+				t.Fatalf("flip at %d decoded but does not re-encode: %v", pos, err)
+			}
+			if string(out) != string(corrupt) {
+				t.Fatalf("flip at %d broke decode/encode idempotence", pos)
+			}
+		}
+	}
+}
+
+// Property: marshal/unmarshal is the identity on count-sketch payloads
+// too, and the depth identity survives for arbitrary depths.
+func TestCountSketchCodecProperty(t *testing.T) {
+	keys := testKeys(40)
+	check := func(vals [12]float64, rawDepth uint8) bool {
+		depth := 1 + int(rawDepth)%6
+		sk, err := NewSketcher(keys, Config{M: 12, Seed: 3, Ensemble: CountSketch, Depth: depth})
+		if err != nil {
+			return false
+		}
+		y := sk.ZeroSketch()
+		copy(y.Y, vals[:])
+		data, err := y.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		back, err := sk.UnmarshalSketch(data)
+		if err != nil {
+			return false
+		}
+		if back.d != depth || back.ens != CountSketch {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(back.Y[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: marshal/unmarshal is the identity on payloads, including
 // negative zero, infinities and subnormals.
 func TestSketchCodecProperty(t *testing.T) {
