@@ -47,6 +47,7 @@ import (
 	"csoutlier/internal/linalg"
 	"csoutlier/internal/obs"
 	"csoutlier/internal/stream"
+	"csoutlier/internal/tier"
 )
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 		epoch      = flag.Uint64("epoch", 1, "incarnation number for -push mode; bump after a restart so the daemon resets this node's sequence space")
 		pushShed   = flag.Int("push-shed-at", 8, "pending-frame threshold where new captures merge into the newest pending frame instead of queueing (admission control; 0 = refuse at the queue cap instead)")
 		pushRetain = flag.Int("push-retain", 1024, "acked frames retained for replay after an aggregator restore (-1 = none: a restore may silently lose recent deltas)")
+		shards     = flag.Int("shards", 1, "push into a sharded deployment: -push takes this many comma-separated per-shard addresses, keys route to their owning shard")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof/ on this address (empty = off)")
 	)
@@ -122,17 +124,36 @@ func main() {
 		if err != nil {
 			log.Fatalf("csnode: %v", err)
 		}
-		sk, err := csoutlier.NewSketcher(dict.Keys(), csoutlier.Config{
-			M: *m, Seed: *seed, Ensemble: ens, SparseD: *sparseD, Depth: *depth,
-		})
-		if err != nil {
-			log.Fatalf("csnode: %v", err)
-		}
-		go pushSlice(sk, dict, x, *push, *name, stream.NodeOptions{
+		opts := stream.NodeOptions{
 			Epoch:  *epoch,
 			ShedAt: *pushShed,
 			Retain: *pushRetain,
-		}, *pushEvery, *pushChunk, reg)
+		}
+		if *shards > 1 {
+			addrs := strings.Split(*push, ",")
+			if len(addrs) != *shards {
+				log.Fatalf("csnode: -shards %d needs that many comma-separated -push addresses, got %d", *shards, len(addrs))
+			}
+			shardMap, err := tier.NewShardMap(dict.Keys(), *shards, tier.Spec{
+				M: *m, BaseSeed: *seed, Ensemble: ens, SparseD: *sparseD, Depth: *depth,
+			}, 1)
+			if err != nil {
+				log.Fatalf("csnode: %v", err)
+			}
+			sks, err := shardMap.Sketchers()
+			if err != nil {
+				log.Fatalf("csnode: %v", err)
+			}
+			go pushSliceSharded(shardMap, sks, dict, x, addrs, *name, opts, *pushEvery, *pushChunk)
+		} else {
+			sk, err := csoutlier.NewSketcher(dict.Keys(), csoutlier.Config{
+				M: *m, Seed: *seed, Ensemble: ens, SparseD: *sparseD, Depth: *depth,
+			})
+			if err != nil {
+				log.Fatalf("csnode: %v", err)
+			}
+			go pushSlice(sk, dict, x, *push, *name, opts, *pushEvery, *pushChunk, reg)
+		}
 	}
 	if err := cluster.ServeWith(ln, node, cluster.ServeOptions{
 		IdleTimeout:    *idleTO,
@@ -188,6 +209,61 @@ func pushSlice(sk *csoutlier.Sketcher, dict *keydict.Dictionary, x linalg.Vector
 	for {
 		time.Sleep(pushEvery)
 		if err := n.Sync(ctx); err != nil {
+			log.Printf("csnode: push heartbeat: %v", err)
+		}
+	}
+}
+
+// pushSliceSharded is pushSlice for a sharded deployment: one
+// connection set over every shard's daemon, each key observed at its
+// owning shard, flushes and heartbeats fanned out in shard order. The
+// per-node stream_client_* metrics are skipped — the per-shard nodes
+// would collide in one registry.
+func pushSliceSharded(m *tier.ShardMap, sks []*csoutlier.Sketcher, dict *keydict.Dictionary, x linalg.Vector,
+	addrs []string, name string, opts stream.NodeOptions, pushEvery time.Duration, pushChunk int) {
+	if pushChunk <= 0 {
+		pushChunk = 256
+	}
+	ctx := context.Background()
+	sn, err := tier.DialSharded(ctx, m, sks, addrs, name, opts)
+	if err != nil {
+		log.Printf("csnode: push: %v (streaming disabled, pull API unaffected)", err)
+		return
+	}
+	log.Printf("csnode: pushing to %d shards as %q (epoch %d)", m.Shards(), name, opts.Epoch)
+	inChunk := 0
+	for idx, v := range x {
+		if v == 0 {
+			continue
+		}
+		if err := sn.Observe(dict.Key(idx), v); err != nil {
+			log.Printf("csnode: push observe: %v", err)
+			return
+		}
+		if inChunk++; inChunk >= pushChunk {
+			inChunk = 0
+			if err := sn.Flush(ctx); err != nil {
+				log.Printf("csnode: push flush: %v", err)
+			}
+			time.Sleep(pushEvery)
+		}
+	}
+	if err := sn.Flush(ctx); err != nil {
+		log.Printf("csnode: push flush: %v", err)
+	}
+	var captured, applied, replayed, redials int64
+	for i := 0; i < m.Shards(); i++ {
+		s := sn.Node(i).Stats()
+		captured += s.Captured
+		applied += s.Applied
+		replayed += s.Replayed
+		redials += s.Redials
+	}
+	log.Printf("csnode: slice streamed across %d shards: %d deltas captured, %d applied, %d replayed, %d redials; heartbeating every %v",
+		m.Shards(), captured, applied, replayed, redials, pushEvery)
+	for {
+		time.Sleep(pushEvery)
+		if err := sn.Sync(ctx); err != nil {
 			log.Printf("csnode: push heartbeat: %v", err)
 		}
 	}

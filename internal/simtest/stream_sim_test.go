@@ -15,8 +15,10 @@ var (
 		"number of randomized membership-churn scenarios TestStreamChurnSoak checks")
 	flagStreamPointQCount = flag.Int("sim.streampointqcount", 2,
 		"number of randomized point-query scenarios TestStreamPointQSoak checks")
+	flagStreamTierCount = flag.Int("sim.streamtiercount", 2,
+		"number of randomized hierarchical-tier scenarios TestStreamTierSoak checks")
 	flagStreamReplay = flag.String("sim.streamreplay", "",
-		"replay a single streaming scenario from its failure-message one-liner (any flavor: stream1, streamcrash1, streamchurn1, streampointq1)")
+		"replay a single streaming scenario from its failure-message one-liner (any flavor: stream1, streamcrash1, streamchurn1, streampointq1, streamtier1)")
 )
 
 // replayStream dispatches a -sim.streamreplay line to the scenario
@@ -48,6 +50,11 @@ func replayStream(t *testing.T, line string) bool {
 		var scn StreamPointQScenario
 		if scn, err = ParseStreamPointQScenario(line); err == nil {
 			err = CheckStreamPointQScenario(scn)
+		}
+	case "streamtier1":
+		var scn StreamTierScenario
+		if scn, err = ParseStreamTierScenario(line); err == nil {
+			err = CheckStreamTierScenario(scn)
 		}
 	default:
 		t.Fatalf("unknown streaming scenario prefix %q", prefix)
@@ -155,6 +162,74 @@ func TestStreamPointQSoak(t *testing.T) {
 					i, base, err, scn)
 			}
 		})
+	}
+}
+
+// TestStreamTierSoak is the hierarchical-tier soak entry point:
+// randomized 2-tier × 2-shard scenarios — per shard, leaf data centers
+// pushing count-sketch deltas through chaos TCP proxies into regional
+// relays that forward folded windows to a shard root — with a mid-run
+// relay kill/restore. Each shard root's windows must be bit-identical
+// to a flat shadow fold, routed span and point answers exact against
+// the centralized oracle, and every leaf capture folded at its root
+// exactly once.
+func TestStreamTierSoak(t *testing.T) {
+	if replayStream(t, *flagStreamReplay) {
+		return
+	}
+	base := baseSeed(t)
+	for i := 0; i < *flagStreamTierCount; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			scn := GenerateStreamTier(base, i)
+			if err := CheckStreamTierScenario(scn); err != nil {
+				t.Fatalf("hierarchical-tier scenario %d (base seed %d) failed: %v\n"+
+					"replay: go test ./internal/simtest -run 'TestStreamTierSoak$' -sim.streamreplay='%s'",
+					i, base, err, scn)
+			}
+		})
+	}
+}
+
+// TestStreamTierScenarioRoundTrip covers the tier scenario codec and
+// generator invariants.
+func TestStreamTierScenarioRoundTrip(t *testing.T) {
+	base := baseSeed(t)
+	for i := 0; i < 8; i++ {
+		scn := GenerateStreamTier(base, i)
+		if err := scn.validate(); err != nil {
+			t.Fatalf("scenario %d invalid: %v\n%s", i, err, scn)
+		}
+		if scn.M() > scn.N/4 {
+			t.Fatalf("scenario %d loses the per-shard ≥2× compression floor: %s", i, scn)
+		}
+		if scn.KillWindow < 2 || scn.KillFlush < 1 {
+			t.Fatalf("scenario %d kill point loses nothing: %s", i, scn)
+		}
+		rt, err := ParseStreamTierScenario(scn.String())
+		if err != nil {
+			t.Fatalf("scenario %d does not round-trip: %v\n%s", i, err, scn)
+		}
+		if rt.String() != scn.String() {
+			t.Fatalf("round-trip changed scenario:\n%s\n%s", scn, rt)
+		}
+		if b := GenerateStreamTier(base, i); b.String() != scn.String() {
+			t.Fatalf("GenerateStreamTier(%d, %d) not deterministic", base, i)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"streamtier1 seed=1",
+		"streamtier1 seed=1 n=1000 s=2 l=4 w=2 d=7 wid=96 k=2 mode=50 noise=0 ks=0 kw=2 kf=1 proxy=6000:12000",  // M > N/4
+		"streamtier1 seed=1 n=3000 s=2 l=4 w=2 d=7 wid=96 k=2 mode=50 noise=0 ks=0 kw=1 kf=1 proxy=6000:12000", // kill before any forward
+		"streamtier1 seed=1 n=3000 s=2 l=4 w=2 d=7 wid=96 k=2 mode=50 noise=0 ks=0 kw=2 kf=0 proxy=6000:12000", // nothing lost
+		"streamtier1 seed=1 n=3000 s=2 l=4 w=2 d=7 wid=96 k=2 mode=50 noise=0 ks=2 kw=2 kf=1 proxy=6000:12000", // shard out of range
+		"streamtier1 seed=1 n=3000 s=2 l=4 w=2 d=7 wid=96 k=2 mode=0 noise=0 ks=0 kw=2 kf=1 proxy=6000:12000",  // zero mode
+	} {
+		if _, err := ParseStreamTierScenario(bad); err == nil {
+			t.Errorf("ParseStreamTierScenario(%q) accepted invalid line", bad)
+		}
 	}
 }
 

@@ -64,6 +64,23 @@ type AggregatorOptions struct {
 	// RestoreAggregator sets it to the snapshot's epoch + 1; nodes that
 	// see it increase replay their retained frames.
 	AggEpoch uint64
+	// OnApplied, when set, is invoked for every applied delta — under
+	// the aggregator mutex, right after the frame folds — with the
+	// frame's window tag, its local-capture count (max(1, Folds)) and
+	// the decoded delta sketch. The tier relay uses it to accumulate the
+	// per-window upward delta atomically with the fold it mirrors. The
+	// callback must be fast and must not call back into the aggregator.
+	OnApplied func(window uint64, folds int, delta csoutlier.Sketch)
+	// SnapshotExtra, when set, is invoked inside Snapshot()'s critical
+	// section; its bytes ride in Snapshot.Extra, atomically consistent
+	// with the window ring and dedup books captured alongside. Same
+	// no-reentrancy rule as OnApplied.
+	SnapshotExtra func() ([]byte, error)
+	// OnSnapshotCommit, when set, is invoked by CommitSnapshot with the
+	// committed snapshot's Extra bytes, after the nodes' Stable
+	// watermarks advance. The tier relay uses it to release staged
+	// upward frames exactly when the snapshot covering them is durable.
+	OnSnapshotCommit func(extra []byte)
 }
 
 func (o AggregatorOptions) withDefaults() AggregatorOptions {
@@ -453,6 +470,15 @@ func (a *Aggregator) handle(conn net.Conn) {
 			case <-a.quit:
 				return
 			}
+		case pushPointQuery:
+			// A read, not a fold: answered on the handler goroutine from
+			// the point-query path, never through the ingest queue, so a
+			// remote dashboard cannot stall (or be stalled by) folding.
+			reply := a.answerPointQuery(req)
+			if err := enc.Encode(&reply); err != nil {
+				return
+			}
+			continue
 		default:
 			ack = Ack{Err: fmt.Sprintf("stream: unknown frame kind %d", req.Kind)}
 			ack.Window = a.CurrentWindow()
@@ -759,6 +785,13 @@ func (a *Aggregator) applyFrame(req pushRequest) Ack {
 	}
 	markLocked(req.Seq)
 	ns.status.Applied++
+	if fn := a.opts.OnApplied; fn != nil {
+		folds := int(req.Folds)
+		if folds < 1 {
+			folds = 1
+		}
+		fn(req.Window, folds, delta)
+	}
 	if req.Folds > 1 {
 		// A node-side merge: the frame is the exact sum of Folds local
 		// captures the overloaded node folded together instead of
@@ -1079,45 +1112,160 @@ func (a *Aggregator) PointQuery(fromAge, toAge int, key string, threshold float6
 }
 
 // pointQuerySlow refreshes (or creates) the span's point state and
-// answers from it. The span snapshot and the fold generation are read
-// under one a.mu critical section — the same pairing discipline as
-// Outliers — so the state is tagged with exactly the generation whose
-// data it holds. The O(M log M) mode re-estimate runs outside a.mu:
-// it only reads the state's private buffer, so ingest never stalls on
-// a commit.
+// answers from it.
 func (a *Aggregator) pointQuerySlow(pk pointKey, key string, threshold float64) (csoutlier.PointAnswer, error) {
 	a.pmu.Lock()
 	defer a.pmu.Unlock()
-	st, ok := a.points[pk]
-	if !ok || st.gen != a.gen.Load() {
-		var ps *csoutlier.PointState
-		if ok {
-			ps = st.ps
-		} else {
-			var err error
-			if ps, err = a.sk.NewPointState(); err != nil {
-				return csoutlier.PointAnswer{}, err
-			}
-		}
-		a.mu.Lock()
-		gen := a.gen.Load()
-		err := a.ws.RangeInto(pk.fromAge, pk.toAge, ps.Sketch())
-		a.mu.Unlock()
-		if err != nil {
-			return csoutlier.PointAnswer{}, err
-		}
-		ps.Commit()
-		if ok {
-			st.gen = gen
-		} else {
-			st = &pointState{ps: ps, gen: gen}
-			a.insertPointLocked(pk, st)
-		}
-		if m := a.metrics; m != nil {
-			m.pointRefreshes.Inc()
-		}
+	st, err := a.refreshPointLocked(pk)
+	if err != nil {
+		return csoutlier.PointAnswer{}, err
 	}
 	return st.ps.Query(key, threshold)
+}
+
+// refreshPointLocked returns the span's point state committed at the
+// current fold generation, rebuilding its sketch from the ring when
+// stale or absent. The span snapshot and the fold generation are read
+// under one a.mu critical section — the same pairing discipline as
+// Outliers — so the state is tagged with exactly the generation whose
+// data it holds. The O(M log M) mode re-estimate runs outside a.mu: it
+// only reads the state's private buffer, so ingest never stalls on a
+// commit. Caller holds pmu exclusively.
+func (a *Aggregator) refreshPointLocked(pk pointKey) (*pointState, error) {
+	st, ok := a.points[pk]
+	if ok && st.gen == a.gen.Load() {
+		return st, nil
+	}
+	var ps *csoutlier.PointState
+	if ok {
+		ps = st.ps
+	} else {
+		var err error
+		if ps, err = a.sk.NewPointState(); err != nil {
+			return nil, err
+		}
+	}
+	a.mu.Lock()
+	gen := a.gen.Load()
+	err := a.ws.RangeInto(pk.fromAge, pk.toAge, ps.Sketch())
+	a.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	ps.Commit()
+	if ok {
+		st.gen = gen
+	} else {
+		st = &pointState{ps: ps, gen: gen}
+		a.insertPointLocked(pk, st)
+	}
+	if m := a.metrics; m != nil {
+		m.pointRefreshes.Inc()
+	}
+	return st, nil
+}
+
+// PointQueryMulti answers a whole watch list of keys over one window
+// span under a single shared-lock acquisition and generation check —
+// the dashboard shape, where callers poll sets of keys, not singles.
+// Answers come back in request order. Cost on the warm path is one
+// RLock plus len(keys)·O(depth); a stale span pays exactly one refresh
+// for the whole list (PointQuery would pay the RLock and generation
+// check per key, and could even refresh twice if a fold landed between
+// two keys — Multi answers every key from one committed state, so the
+// list is a consistent cut of a single fold generation).
+func (a *Aggregator) PointQueryMulti(fromAge, toAge int, keys []string, threshold float64) ([]csoutlier.PointAnswer, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	m := a.metrics
+	var start time.Time
+	timed := false
+	if m != nil {
+		m.pointQueries.Add(int64(len(keys)))
+		timed = a.pointTick.Add(1)&pointSampleMask == 1
+		if timed {
+			start = time.Now()
+		}
+	}
+	pk := pointKey{fromAge: fromAge, toAge: toAge}
+	out := make([]csoutlier.PointAnswer, len(keys))
+	answered := false
+	var err error
+	a.pmu.RLock()
+	if st, ok := a.points[pk]; ok && st.gen == a.gen.Load() {
+		answered = true
+		err = queryPointKeys(st.ps, keys, threshold, out)
+	}
+	a.pmu.RUnlock()
+	if !answered {
+		err = a.pointQueryMultiSlow(pk, keys, threshold, out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m != nil {
+		for i := range out {
+			if out[i].Outlier {
+				m.pointOutliers.Inc()
+			}
+		}
+		if timed {
+			m.pointSeconds.Observe(time.Since(start).Seconds())
+		}
+	}
+	return out, nil
+}
+
+// pointQueryMultiSlow is PointQueryMulti's refresh path: one rebuild of
+// the span's state, then every key answered from it.
+func (a *Aggregator) pointQueryMultiSlow(pk pointKey, keys []string, threshold float64, out []csoutlier.PointAnswer) error {
+	a.pmu.Lock()
+	defer a.pmu.Unlock()
+	st, err := a.refreshPointLocked(pk)
+	if err != nil {
+		return err
+	}
+	return queryPointKeys(st.ps, keys, threshold, out)
+}
+
+// queryPointKeys answers every key from one committed point state.
+func queryPointKeys(ps *csoutlier.PointState, keys []string, threshold float64, out []csoutlier.PointAnswer) error {
+	for i, key := range keys {
+		ans, err := ps.Query(key, threshold)
+		if err != nil {
+			return err
+		}
+		out[i] = ans
+	}
+	return nil
+}
+
+// answerPointQuery serves one pushPointQuery frame: the wire form of
+// PointQueryMulti, accounted in the pointq_remote_* families (the
+// underlying answers still count in pointq_* like local ones).
+func (a *Aggregator) answerPointQuery(req pushRequest) QueryReply {
+	m := a.metrics
+	var start time.Time
+	if m != nil {
+		m.pointRemoteQueries.Inc()
+		m.pointRemoteKeys.Add(int64(len(req.Keys)))
+		start = time.Now()
+	}
+	var reply QueryReply
+	answers, err := a.PointQueryMulti(req.FromAge, req.ToAge, req.Keys, req.Threshold)
+	if err != nil {
+		reply.Err = err.Error()
+		if m != nil {
+			m.pointRemoteErrors.Inc()
+		}
+	} else {
+		reply.Answers = answers
+	}
+	if m != nil {
+		m.pointRemoteSeconds.Observe(time.Since(start).Seconds())
+	}
+	return reply
 }
 
 // insertPointLocked stores a span's point state and bounds the cache:

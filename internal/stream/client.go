@@ -9,6 +9,7 @@ import (
 	"net"
 	"time"
 
+	"csoutlier"
 	"csoutlier/internal/xrand"
 )
 
@@ -64,6 +65,46 @@ func (c *Client) PushDelta(node string, epoch, window, seq uint64, folds uint32,
 func (c *Client) Bye(node string, epoch uint64) (Ack, error) {
 	return c.exchange(&pushRequest{Kind: pushBye, Node: node, Epoch: epoch})
 }
+
+// PointQuery answers a watch list of keys over a window-age span — the
+// wire form of Aggregator.PointQueryMulti, multiplexed on the same push
+// connection. Answers come back in request order. A transport error
+// poisons the connection; a returned error with a healthy connection is
+// a query-level rejection (unknown key, span out of range,
+// non-count-sketch backend).
+func (c *Client) PointQuery(fromAge, toAge int, keys []string, threshold float64) ([]csoutlier.PointAnswer, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+	req := pushRequest{
+		Kind:    pushPointQuery,
+		FromAge: fromAge, ToAge: toAge,
+		Keys: keys, Threshold: threshold,
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, fmt.Errorf("stream: send: %w", err)
+	}
+	var reply QueryReply
+	if err := c.dec.Decode(&reply); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errors.New("stream: aggregator closed connection")
+		}
+		return nil, fmt.Errorf("stream: receive: %w", err)
+	}
+	if reply.Err != "" {
+		return nil, &QueryRejectedError{Msg: reply.Err}
+	}
+	return reply.Answers, nil
+}
+
+// QueryRejectedError is a query-level rejection of a point-query RPC:
+// the connection is healthy and a retry of the same request would be
+// rejected again (unknown key, span out of range, non-count-sketch
+// backend). Callers distinguish it from transport errors, which poison
+// the connection and are worth one redial.
+type QueryRejectedError struct{ Msg string }
+
+func (e *QueryRejectedError) Error() string { return e.Msg }
 
 // exchange runs one encode/decode round-trip under the deadline.
 func (c *Client) exchange(req *pushRequest) (Ack, error) {

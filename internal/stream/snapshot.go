@@ -27,7 +27,14 @@ package stream
 //	capacity:u32 windowCount:u32 { len:u32 sketchCodecBytes }...
 //	nodeCount:u32 { node }...
 //	tombCount:u32 { node }...
+//	extraLen:u32 extraBytes...     (version 2 only)
 //	crc:u32
+//
+// Version 1 and version 2 differ only in the opaque Extra blob an
+// embedder (internal/tier's relay) snapshots alongside the fold state.
+// The encoding is canonical both ways: a snapshot without Extra is
+// always written as version 1 (byte-identical to the v1 codec), and a
+// version-2 blob with extraLen == 0 is rejected.
 //
 // where each node is
 //
@@ -59,7 +66,10 @@ import (
 // snapMagic/snapVersion identify the snapshot codec.
 var snapMagic = [4]byte{'C', 'S', 'N', 'P'}
 
-const snapVersion uint16 = 1
+const (
+	snapVersion      uint16 = 1 // no Extra
+	snapVersionExtra uint16 = 2 // trailing opaque Extra blob
+)
 
 // SnapNode is one node's membership + dedup state in a snapshot.
 type SnapNode struct {
@@ -92,6 +102,12 @@ type Snapshot struct {
 	Windows [][]byte
 	Nodes   []SnapNode // live members
 	Tombs   []SnapNode // retired members (left/evicted)
+	// Extra is an opaque embedder blob captured atomically with the fold
+	// state (AggregatorOptions.SnapshotExtra) and handed back when the
+	// snapshot commits (OnSnapshotCommit). internal/tier stores a relay's
+	// upward-forwarding state here, so "leaf frame folded" and "upward
+	// frame staged" are always the same durability event.
+	Extra []byte
 }
 
 // Snapshot captures the aggregator's fold state under one mutex
@@ -126,6 +142,14 @@ func (a *Aggregator) Snapshot() (*Snapshot, error) {
 	}
 	snap.Nodes = snapNodesLocked(a.nodes)
 	snap.Tombs = snapNodesLocked(a.tombs)
+	if fn := a.opts.SnapshotExtra; fn != nil {
+		extra, err := fn()
+		if err != nil {
+			a.mu.Unlock()
+			return nil, fmt.Errorf("stream: snapshot extra: %w", err)
+		}
+		snap.Extra = extra
+	}
 	a.mu.Unlock()
 	if m := a.metrics; m != nil {
 		m.snapshotSeconds.Observe(time.Since(start).Seconds())
@@ -183,6 +207,9 @@ func (a *Aggregator) CommitSnapshot(snap *Snapshot) {
 	a.mu.Unlock()
 	if m := a.metrics; m != nil {
 		m.snapshots.Inc()
+	}
+	if fn := a.opts.OnSnapshotCommit; fn != nil {
+		fn(snap.Extra)
 	}
 }
 
@@ -258,9 +285,13 @@ func (s *Snapshot) MarshalBinary() ([]byte, error) {
 	for _, w := range s.Windows {
 		size += 4 + len(w)
 	}
+	version := snapVersion
+	if len(s.Extra) > 0 {
+		version = snapVersionExtra
+	}
 	b := make([]byte, 0, size)
 	b = append(b, snapMagic[:]...)
-	b = binary.LittleEndian.AppendUint16(b, snapVersion)
+	b = binary.LittleEndian.AppendUint16(b, version)
 	b = binary.LittleEndian.AppendUint64(b, s.AggEpoch)
 	b = binary.LittleEndian.AppendUint64(b, s.Window)
 	b = binary.LittleEndian.AppendUint64(b, s.Membership)
@@ -278,6 +309,10 @@ func (s *Snapshot) MarshalBinary() ([]byte, error) {
 				return nil, err
 			}
 		}
+	}
+	if version == snapVersionExtra {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Extra)))
+		b = append(b, s.Extra...)
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 	return b, nil
@@ -387,8 +422,9 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("stream: snapshot CRC mismatch (stored %08x, computed %08x)", binary.LittleEndian.Uint32(trailer), crc)
 	}
 	r := &snapReader{b: body[4:]}
-	if v := r.u16(); v != snapVersion {
-		return nil, fmt.Errorf("stream: snapshot version %d (supported: %d)", v, snapVersion)
+	version := r.u16()
+	if version != snapVersion && version != snapVersionExtra {
+		return nil, fmt.Errorf("stream: snapshot version %d (supported: %d, %d)", version, snapVersion, snapVersionExtra)
 	}
 	s := &Snapshot{
 		AggEpoch:   r.u64(),
@@ -420,6 +456,17 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 			if r.err == nil {
 				*dst = append(*dst, sn)
 			}
+		}
+	}
+	if version == snapVersionExtra {
+		n := r.u32()
+		if r.err == nil && n == 0 {
+			// Canonical form: an empty Extra is encoded as version 1.
+			return nil, errors.New("stream: version-2 snapshot with empty extra")
+		}
+		extra := r.take(int(n))
+		if r.err == nil {
+			s.Extra = append([]byte(nil), extra...)
 		}
 	}
 	if r.err != nil {

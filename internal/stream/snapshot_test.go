@@ -67,6 +67,15 @@ func randSnapshot(rng *xrand.RNG) *Snapshot {
 	for i := rng.Intn(3); i > 0; i-- {
 		s.Tombs = append(s.Tombs, randNode(100+len(s.Tombs), true))
 	}
+	// Half the cases carry an opaque embedder blob (the v2 form a
+	// tier.Relay snapshot uses for its upward-forwarding state).
+	if rng.Intn(2) == 1 {
+		b := make([]byte, 1+rng.Intn(48))
+		for j := range b {
+			b[j] = byte(rng.Uint64())
+		}
+		s.Extra = b
+	}
 	return s
 }
 

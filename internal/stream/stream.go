@@ -36,6 +36,8 @@
 // chaos TCP against a differential oracle.
 package stream
 
+import "csoutlier"
+
 // The push protocol: one gob-framed request/response exchange per
 // frame, node-initiated (the reverse of internal/cluster's pull
 // protocol, whose aggregator is the client). Three request kinds:
@@ -52,12 +54,17 @@ package stream
 //	bye    — announce a graceful leave: the aggregator retires the
 //	         node's membership (its dedup book is kept as a tombstone
 //	         so a late retry still dedups, never refolds).
+//	query  — answer a point-query watch list over a window-age span
+//	         from the recovery-free count-sketch path. A read, not a
+//	         fold: it bypasses the ingest queue entirely and replies
+//	         with a QueryReply instead of an Ack.
 type pushKind uint8
 
 const (
 	pushHello pushKind = iota + 1
 	pushDelta
 	pushBye
+	pushPointQuery
 )
 
 // pushRequest is the node→aggregator wire frame.
@@ -69,6 +76,23 @@ type pushRequest struct {
 	Seq     uint64 // delta only: per-(node, epoch) sequence number, from 1
 	Folds   uint32 // delta only: local captures merged into this frame (0/1 = plain, >1 = shed)
 	Payload []byte // delta only: csoutlier.Sketch binary codec bytes
+
+	// Point-query fields (Kind == pushPointQuery only): the window-age
+	// span, the watch list, and the outlier-classification threshold —
+	// the wire form of Aggregator.PointQueryMulti's arguments.
+	FromAge   int
+	ToAge     int
+	Keys      []string
+	Threshold float64
+}
+
+// QueryReply is the aggregator's reply to a pushPointQuery frame: one
+// answer per requested key, in request order. Err is a query-level
+// rejection (unknown key, span out of range, non-count-sketch backend)
+// on a healthy connection.
+type QueryReply struct {
+	Err     string
+	Answers []csoutlier.PointAnswer
 }
 
 // Statuses an Ack can carry for a processed delta.

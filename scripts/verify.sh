@@ -16,9 +16,12 @@
 # and checks every window bit-identically against the centralized
 # oracle — including a crash-restart flavor (aggregator snapshot,
 # kill, restore, node replay), a membership-churn flavor (mid-run
-# join, graceful leave, eviction + resurrection), and a point-query
+# join, graceful leave, eviction + resurrection), a point-query
 # flavor (recovery-free count-sketch point answers vs the exact oracle,
-# mid-run and over every window span). Raise -sim.count /
+# mid-run and over every window span), and a hierarchical-tier flavor
+# (2-tier × 2-shard tree with a relay kill/restore, checked bitwise
+# per shard root window and against the oracle through the query
+# router). Raise -sim.count /
 # -sim.streamcount and friends for soak runs. The -bench mode
 # compiles and runs every benchmark exactly once — it catches bit-rotted
 # benchmark code without paying for a real measurement (use
@@ -59,11 +62,18 @@ go test ./internal/simtest -run 'TestStreamChurnSoak$' -sim.streamchurncount=10
 echo "== point-query soak: recovery-free count-sketch answers vs exact oracle =="
 go test ./internal/simtest -run 'TestStreamPointQSoak$' -sim.streampointqcount=10
 
+echo "== hierarchical-tier soak: 2-tier × 2-shard tree with relay kill/restore =="
+go test ./internal/simtest -run 'TestStreamTierSoak$' -sim.streamtiercount=10
+
 echo "== metrics smoke: /metrics + /healthz on a live csstreamd =="
 tmp=$(mktemp -d)
 daemon=""
+root=""
+relay=""
 cleanup() {
 	[ -n "$daemon" ] && kill "$daemon" 2>/dev/null || true
+	[ -n "$relay" ] && kill "$relay" 2>/dev/null || true
+	[ -n "$root" ] && kill "$root" 2>/dev/null || true
 	rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
@@ -85,7 +95,43 @@ if [ -z "$url" ]; then
 	exit 1
 fi
 "$tmp/obscheck" -url "$url" -require \
-	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total,stream_snapshot_commits_total,stream_snapshot_errors_total,stream_snapshot_bytes,stream_snapshot_seconds,stream_membership_events_total,stream_membership_version,stream_membership_tombstones,stream_agg_epoch,stream_shed_frames_total,stream_shed_folds_total,pointq_queries_total,pointq_refreshes_total,pointq_outliers_total,pointq_seconds
+	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total,stream_snapshot_commits_total,stream_snapshot_errors_total,stream_snapshot_bytes,stream_snapshot_seconds,stream_membership_events_total,stream_membership_version,stream_membership_tombstones,stream_agg_epoch,stream_shed_frames_total,stream_shed_folds_total,pointq_queries_total,pointq_refreshes_total,pointq_outliers_total,pointq_seconds,pointq_remote_queries_total,pointq_remote_keys_total,pointq_remote_errors_total,pointq_remote_seconds
 "$tmp/obscheck" -url "${url%/metrics}/healthz" -health
+
+echo "== hierarchical metrics smoke: tier_*/shard_* on a live relay =="
+# Shard 0 of a 2-shard partition (4 of 8 keys, so -m 2 keeps
+# compression), served by a root with a relay forwarding into it.
+"$tmp/csstreamd" -dict "$tmp/keys.txt" -m 2 -shards 2 -shard-index 0 \
+	-listen 127.0.0.1:0 -report-every 0 >"$tmp/rootlog" 2>&1 &
+root=$!
+rootaddr=""
+for _ in $(seq 1 50); do
+	rootaddr=$(sed -n 's/.*csstreamd serving .* on \([0-9.:]*\);.*/\1/p' "$tmp/rootlog" | head -1)
+	[ -n "$rootaddr" ] && break
+	sleep 0.1
+done
+if [ -z "$rootaddr" ]; then
+	echo "verify: shard root never logged its push address" >&2
+	cat "$tmp/rootlog" >&2
+	exit 1
+fi
+"$tmp/csstreamd" -dict "$tmp/keys.txt" -m 2 -shards 2 -shard-index 0 \
+	-relay-upstream "$rootaddr" -relay-id r0 -forward-every 1s \
+	-listen 127.0.0.1:0 -metrics-addr 127.0.0.1:0 -report-every 0 >"$tmp/relaylog" 2>&1 &
+relay=$!
+relayurl=""
+for _ in $(seq 1 50); do
+	relayurl=$(sed -n 's/.*csstreamd metrics on \(http:[^ ]*\)$/\1/p' "$tmp/relaylog" | head -1)
+	[ -n "$relayurl" ] && break
+	sleep 0.1
+done
+if [ -z "$relayurl" ]; then
+	echo "verify: relay csstreamd never logged its metrics address" >&2
+	cat "$tmp/relaylog" >&2
+	exit 1
+fi
+"$tmp/obscheck" -url "$relayurl" -require \
+	tier_forwards_total,tier_forward_errors_total,tier_frames_staged_total,tier_folds_staged_total,tier_frames_committed_total,tier_up_frames_total,tier_replayed_frames_total,tier_redials_total,tier_unstable_windows,tier_staged_frames,tier_queue_frames,tier_retained_frames,tier_up_seq,tier_up_epoch,tier_root_epoch,tier_root_stable,tier_forward_seconds,shard_index,shard_count,shard_keys,shard_map_version
+"$tmp/obscheck" -url "${relayurl%/metrics}/healthz" -health
 
 echo "verify: OK"
