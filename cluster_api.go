@@ -34,6 +34,13 @@ type ClusterOptions struct {
 	// QuorumGrace bounds the extra wait for stragglers once the quorum
 	// is reached (0 = keep waiting for all nodes or ctx).
 	QuorumGrace time.Duration
+	// BackoffSeed seeds every retry-jitter RNG the query uses (one per
+	// dialed node plus the collector's per-node retry streams), making
+	// the whole pull path's timing deterministic for a given seed —
+	// simtest plumbs the scenario seed through here. 0 keeps the
+	// per-address default seeding (still deterministic, but not
+	// scenario-scoped).
+	BackoffSeed uint64
 }
 
 // NodeReport is one node's view of a DetectCluster run.
@@ -139,7 +146,12 @@ func (s *Sketcher) DetectCluster(ctx context.Context, addrs []string, k int, opt
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			remotes[i], dialErrs[i] = cluster.DialContext(ctx, addr, dialOpts)
+			do := dialOpts
+			if opts.BackoffSeed != 0 {
+				// Decorrelate per-node jitter streams off the one seed.
+				do.BackoffSeed = opts.BackoffSeed + uint64(i+1)*0x9e3779b97f4a7c15
+			}
+			remotes[i], dialErrs[i] = cluster.DialContext(ctx, addr, do)
 		}(i, addr)
 	}
 	wg.Wait()
@@ -178,6 +190,7 @@ func (s *Sketcher) DetectCluster(ctx context.Context, addrs []string, k int, opt
 		MaxAttempts: opts.MaxAttempts,
 		NodeTimeout: nodeTimeout,
 		QuorumGrace: opts.QuorumGrace,
+		BackoffSeed: opts.BackoffSeed,
 	})
 
 	// Fold the collection's per-node stats and the transport health into

@@ -11,6 +11,7 @@ import (
 	"csoutlier/internal/obs"
 	"csoutlier/internal/outlier"
 	"csoutlier/internal/sensing"
+	"csoutlier/internal/xrand"
 )
 
 // CollectOptions tunes fault-tolerant sketch collection.
@@ -42,6 +43,11 @@ type CollectOptions struct {
 	// grace elapses, in-flight requests are cancelled and the quorum
 	// aggregate is returned. 0 waits for all nodes or the overall ctx.
 	QuorumGrace time.Duration
+	// BackoffSeed seeds the retry-jitter RNG; each node's worker splits
+	// its own stream off it by node ID, so retry storms stay
+	// decorrelated across nodes while the whole collection replays
+	// deterministically. 0 uses a fixed default seed.
+	BackoffSeed uint64
 	// Metrics, when non-nil, receives the collection's attempt/retry/
 	// timeout/byte counters and per-node RTT observations (cluster_*
 	// families). nil = no instrumentation.
@@ -100,6 +106,10 @@ func CollectSketchesCtxSpec(ctx context.Context, nodes []NodeAPI, spec sensing.S
 	if maxBackoff <= 0 {
 		maxBackoff = time.Second
 	}
+	jitterSeed := opts.BackoffSeed
+	if jitterSeed == 0 {
+		jitterSeed = 0x9e3779b97f4a7c15
+	}
 
 	// inner is cancelled the moment the collector decides to stop —
 	// overall deadline, quorum grace expiry, or normal completion — so
@@ -119,10 +129,11 @@ func CollectSketchesCtxSpec(ctx context.Context, nodes []NodeAPI, spec sensing.S
 		go func(node NodeAPI) {
 			var ns NodeStats
 			var y linalg.Vector
+			rng := xrand.New(jitterSeed).Split(backoffSeed(0, node.ID()))
 			for attempt := 1; attempt <= maxAttempts; attempt++ {
 				if attempt > 1 {
 					ns.Retries++
-					if sleepCtx(inner, backoffDelay(attempt-1, baseBackoff, maxBackoff)) != nil {
+					if sleepCtx(inner, backoffDelay(rng, attempt-1, baseBackoff, maxBackoff)) != nil {
 						break
 					}
 				}

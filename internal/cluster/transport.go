@@ -6,8 +6,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -16,6 +16,7 @@ import (
 	"csoutlier/internal/linalg"
 	"csoutlier/internal/outlier"
 	"csoutlier/internal/sensing"
+	"csoutlier/internal/xrand"
 )
 
 // The TCP transport speaks a tiny gob-framed request/response protocol
@@ -199,6 +200,12 @@ type DialOptions struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the retry delay (default 1s).
 	MaxBackoff time.Duration
+	// BackoffSeed seeds the per-client retry-jitter RNG (the PR 5
+	// NodeOptions.BackoffSeed analogue). 0 derives a stable seed from
+	// the dialed address, so jitter is deterministic per target and
+	// never touches the global math/rand state — simtest replays stay
+	// bit-identical on the pull path.
+	BackoffSeed uint64
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -263,7 +270,8 @@ type RemoteNode struct {
 	opts DialOptions
 	name string
 
-	mu sync.Mutex // serializes round-trips: the protocol is strictly request/response
+	mu  sync.Mutex // serializes round-trips: the protocol is strictly request/response
+	rng *xrand.RNG // retry jitter; accessed only under mu
 
 	connMu sync.Mutex // guards conn/enc/dec/closed; Close may race a round-trip
 	conn   net.Conn
@@ -288,6 +296,7 @@ func Dial(addr string) (*RemoteNode, error) {
 // DialContext is Dial with a context and explicit transport options.
 func DialContext(ctx context.Context, addr string, opts DialOptions) (*RemoteNode, error) {
 	r := &RemoteNode{addr: addr, opts: opts.withDefaults()}
+	r.rng = xrand.New(backoffSeed(r.opts.BackoffSeed, addr))
 	resp, err := r.roundTrip(ctx, &request{Kind: reqID})
 	if err != nil {
 		r.Close()
@@ -378,7 +387,7 @@ func (r *RemoteNode) roundTrip(ctx context.Context, req *request) (*response, er
 	for attempt := 0; attempt <= r.opts.MaxRetries; attempt++ {
 		if attempt > 0 {
 			r.note(func(h *NodeHealth) { h.Retries++ })
-			if err := sleepCtx(ctx, backoffDelay(attempt, r.opts.BaseBackoff, r.opts.MaxBackoff)); err != nil {
+			if err := sleepCtx(ctx, backoffDelay(r.rng, attempt, r.opts.BaseBackoff, r.opts.MaxBackoff)); err != nil {
 				r.note(func(h *NodeHealth) { h.Failures++ })
 				return nil, fmt.Errorf("cluster: %s: %w (last transport error: %v)", r.addr, err, lastErr)
 			}
@@ -514,8 +523,10 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // backoffDelay is exponential backoff with full jitter: attempt n waits
-// a uniform draw from (base·2ⁿ⁻¹/2, base·2ⁿ⁻¹], capped at max.
-func backoffDelay(attempt int, base, max time.Duration) time.Duration {
+// a uniform draw from (base·2ⁿ⁻¹/2, base·2ⁿ⁻¹], capped at max. The
+// jitter comes from the caller's seedable RNG, never the global
+// math/rand, so retry timing replays deterministically.
+func backoffDelay(rng *xrand.RNG, attempt int, base, max time.Duration) time.Duration {
 	d := base
 	for i := 1; i < attempt && d < max; i++ {
 		d *= 2
@@ -527,7 +538,19 @@ func backoffDelay(attempt int, base, max time.Duration) time.Duration {
 	if half <= 0 {
 		return d
 	}
-	return time.Duration(half + rand.Int63n(half+1))
+	return time.Duration(half + int64(rng.Intn(int(half)+1)))
+}
+
+// backoffSeed resolves a jitter seed: an explicit non-zero seed wins,
+// otherwise a stable FNV-1a hash of the label (the dialed address or
+// node ID) keeps distinct targets decorrelated without global state.
+func backoffSeed(seed uint64, label string) uint64 {
+	if seed != 0 {
+		return seed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return h.Sum64()
 }
 
 // ID implements NodeAPI.

@@ -31,6 +31,7 @@ var registry = map[string]struct {
 	"jitter":    {Jitter, "extension: BOMP robustness to concentration jitter (near-sparse data)"},
 	"ensembles": {Ensembles, "extension: Gaussian vs sparse-Rademacher vs SRHT measurement quality"},
 	"pointq":    {PointQ, "extension: recovery-free count-sketch point queries — accuracy, bytes, latency vs M"},
+	"solvers":   {Solvers, "extension: multi-solver sweep — EK and ns/op per solver per (s,M) cell"},
 }
 
 // IDs returns the registered experiment ids, sorted.

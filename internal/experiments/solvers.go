@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/outlier"
+	"csoutlier/internal/recovery"
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/workload"
+	"csoutlier/internal/xrand"
+)
+
+// Solvers is the multi-solver sweep behind the adaptive recovery
+// backend: every solver answers the same biased k-outlier instances
+// across (s, M) cells, reporting both accuracy (EK) and wall-clock per
+// solve. The cells bracket the selection policy's regimes — small s
+// where BOMP's greedy growth is unbeatable, and large s with
+// measurement headroom where first-order AIHT overtakes the QR-
+// augmented solvers. Config.Solver (the csbench -solver flag) restricts
+// the sweep to one solver.
+func Solvers(cfg Config) ([]*Table, error) {
+	const (
+		n    = 1200
+		mode = 500.0
+	)
+	trials := cfg.trials(scaleInt(16, cfg.scale(), 2))
+	type solver struct {
+		name string
+		run  func(mat sensing.Matrix, y linalg.Vector, s int) (*recovery.Result, error)
+	}
+	all := []solver{
+		{"bomp", func(mat sensing.Matrix, y linalg.Vector, s int) (*recovery.Result, error) {
+			return recovery.BOMP(mat, y, recovery.Options{MaxIterations: s + 1})
+		}},
+		{"ols", func(mat sensing.Matrix, y linalg.Vector, s int) (*recovery.Result, error) {
+			return recovery.BiasedOLS(mat, y, recovery.Options{MaxIterations: s + 1})
+		}},
+		{"cosamp", func(mat sensing.Matrix, y linalg.Vector, s int) (*recovery.Result, error) {
+			return recovery.BiasedCoSaMP(mat, y, s, recovery.Options{})
+		}},
+		{"iht", func(mat sensing.Matrix, y linalg.Vector, s int) (*recovery.Result, error) {
+			return recovery.BiasedIHT(mat, y, s, recovery.Options{})
+		}},
+		{"aiht", func(mat sensing.Matrix, y linalg.Vector, s int) (*recovery.Result, error) {
+			return recovery.BiasedAIHT(mat, y, s, recovery.Options{})
+		}},
+		{"bp", func(mat sensing.Matrix, y linalg.Vector, s int) (*recovery.Result, error) {
+			return recovery.BiasedBP(mat, y)
+		}},
+		{"dantzig", func(mat sensing.Matrix, y linalg.Vector, s int) (*recovery.Result, error) {
+			return recovery.BiasedDantzig(mat, y, s, recovery.Options{})
+		}},
+	}
+	solvers := all
+	if cfg.Solver != "" && cfg.Solver != "all" && cfg.Solver != "auto" {
+		solvers = nil
+		for _, sv := range all {
+			if sv.name == cfg.Solver {
+				solvers = []solver{sv}
+			}
+		}
+		if solvers == nil {
+			return nil, fmt.Errorf("experiments: unknown solver %q", cfg.Solver)
+		}
+	}
+
+	rng := xrand.New(cfg.Seed + 0x501e)
+	var tables []*Table
+	for _, s := range []int{4, 16, 64} {
+		ratios := []float64{6, 8, 12}
+		ms := make([]float64, len(ratios))
+		for i, r := range ratios {
+			ms[i] = float64(int(r) * s)
+		}
+		acc := &Table{
+			Title:  fmt.Sprintf("Solver sweep: EK per solver, N=%d, s=%d, unknown mode %g, k=s", n, s, mode),
+			XLabel: "M",
+			YLabel: "EK (avg over trials)",
+			X:      ms,
+		}
+		tim := &Table{
+			Title:  fmt.Sprintf("Solver sweep: ns per solve, N=%d, s=%d", n, s),
+			XLabel: "M",
+			YLabel: "ns/op (avg over trials)",
+			X:      ms,
+		}
+		ek := make([][]float64, len(solvers))
+		ns := make([][]float64, len(solvers))
+		for i := range solvers {
+			ek[i] = make([]float64, len(ms))
+			ns[i] = make([]float64, len(ms))
+		}
+		for mi, mf := range ms {
+			m := int(mf)
+			for trial := 0; trial < trials; trial++ {
+				seed := rng.Uint64()
+				x, _ := workload.MajorityDominated(n, s, mode, 200, 2000, seed)
+				truth := outlier.TopK(x, mode, s)
+				mat, err := sensing.NewDense(sensing.Params{M: m, N: n, Seed: seed ^ 0x77})
+				if err != nil {
+					return nil, err
+				}
+				y := mat.Measure(x, nil)
+				for si, sv := range solvers {
+					start := time.Now()
+					res, err := sv.run(mat, y, s)
+					ns[si][mi] += float64(time.Since(start).Nanoseconds())
+					if err != nil {
+						ek[si][mi] += float64(s)
+						continue
+					}
+					est := make([]outlier.KV, len(res.Support))
+					for i, j := range res.Support {
+						est[i] = outlier.KV{Index: j, Value: res.X[j]}
+					}
+					ek[si][mi] += outlier.ErrorOnKey(truth, outlier.TopKOf(est, res.Mode, s))
+				}
+			}
+			for si := range solvers {
+				ek[si][mi] /= float64(trials)
+				ns[si][mi] /= float64(trials)
+			}
+		}
+		for si, sv := range solvers {
+			if err := acc.AddSeries(sv.name, ek[si]); err != nil {
+				return nil, err
+			}
+			if err := tim.AddSeries(sv.name, ns[si]); err != nil {
+				return nil, err
+			}
+		}
+		tables = append(tables, acc, tim)
+	}
+	return tables, nil
+}

@@ -1,0 +1,77 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/xrand"
+)
+
+// TestCholeskyAgreesWithSolveDense cross-checks the Cholesky solve
+// against the pivoted-LU SolveDense on random SPD systems A = BᵀB + ρI.
+func TestCholeskyAgreesWithSolveDense(t *testing.T) {
+	rng := xrand.New(0xc401e5)
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := 0.0
+				for k := 0; k < n; k++ {
+					v += b.At(k, i) * b.At(k, j)
+				}
+				if i == j {
+					v += 1.5 // ρI keeps it well-conditioned
+				}
+				a.Set(i, j, v)
+			}
+		}
+		rhs := make(Vector, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		chol, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := chol.SolveInto(nil, rhs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := SolveDense(a.Clone(), rhs.Clone())
+		if err != nil {
+			t.Fatalf("n=%d: SolveDense: %v", n, err)
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: x[%d] = %g, want %g", n, i, got[i], want[i])
+			}
+		}
+		// And A·x ≈ rhs directly.
+		ax := a.MulVec(got, nil)
+		for i := range ax {
+			if math.Abs(ax[i]-rhs[i]) > 1e-8*(1+math.Abs(rhs[i])) {
+				t.Fatalf("n=%d: (Ax)[%d] = %g, want %g", n, i, ax[i], rhs[i])
+			}
+		}
+	}
+}
+
+// TestCholeskyRejectsIndefinite checks the SPD guard.
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3, −1
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("NewCholesky accepted an indefinite matrix")
+	}
+	b := NewMatrix(2, 3)
+	if _, err := NewCholesky(b); err == nil {
+		t.Fatal("NewCholesky accepted a non-square matrix")
+	}
+}

@@ -148,46 +148,95 @@ func cosamp(m sensing.Matrix, y linalg.Vector, s int, opt Options, biased bool) 
 		prevNorm = norm
 	}
 
-	res := &Result{Iterations: len(support)}
-	if biased {
-		b := 0.0
-		for i, j := range support {
-			if j == 0 {
-				b = coef[i] / math.Sqrt(float64(p.N))
-			} else {
-				res.Support = append(res.Support, j-1)
-				res.Coef = append(res.Coef, coef[i])
-			}
-		}
-		res.Mode = b
-		res.X = assemble(p.N, b, res.Support, res.Coef)
-	} else {
-		res.Support = append(res.Support, support...)
-		res.Coef = append(res.Coef, coef...)
-		res.X = assemble(p.N, 0, res.Support, res.Coef)
+	// Final debias with coefficient pruning: when the target sparsity
+	// exceeds the true one, CoSaMP fills the spare slots with junk
+	// columns whose least-squares coefficients sit at float-noise level —
+	// without the prune they would surface as phantom outliers.
+	kept, coefOut, resNorm, err := debiasPruned(d, y, yNorm, support, p.M)
+	if err != nil {
+		return nil, err
 	}
+	res := extendedResult(p.N, kept, coefOut, biased)
+	res.Iterations = len(support)
+	res.Residual = resNorm
 	return res, nil
 }
 
 // topAbsIndices returns the indices of the k largest |v| entries.
 func topAbsIndices(v linalg.Vector, k int) []int {
-	idx := make([]int, len(v))
-	for i := range idx {
-		idx[i] = i
+	if k <= 0 {
+		return nil
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		da, db := math.Abs(v[idx[a]]), math.Abs(v[idx[b]])
-		if da != db {
-			return da > db
+	if k >= len(v) {
+		out := make([]int, len(v))
+		for i := range out {
+			out[i] = i
 		}
-		return idx[a] < idx[b]
-	})
-	if len(idx) > k {
-		idx = idx[:k]
+		return out
 	}
-	out := append([]int(nil), idx...)
+	// O(N) threshold by quickselect, then two gather passes: everything
+	// strictly above the k-th largest magnitude, and ties in ascending
+	// index order until k entries are kept — the same set a full
+	// magnitude-descending sort with index tie-breaks selects, without
+	// the O(N log N) comparator-closure sort (the IHT family calls this
+	// on every step proposal, where the sort dominated the profile).
+	work := make([]float64, len(v))
+	for i, x := range v {
+		work[i] = math.Abs(x)
+	}
+	th := kthLargest(work, k)
+	out := make([]int, 0, k)
+	for i, x := range v {
+		if math.Abs(x) > th {
+			out = append(out, i)
+		}
+	}
+	need := k - len(out)
+	for i, x := range v {
+		if need == 0 {
+			break
+		}
+		if math.Abs(x) == th {
+			out = append(out, i)
+			need--
+		}
+	}
 	sort.Ints(out)
 	return out
+}
+
+// kthLargest returns the k-th largest value of a (1 ≤ k ≤ len(a)),
+// partially reordering a in place. Hoare quickselect in descending
+// order with a middle-element pivot; the returned value is deterministic
+// (it is a rank statistic), whatever the pivot path.
+func kthLargest(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		p := a[lo+(hi-lo)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] > p {
+				i++
+			}
+			for a[j] < p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		switch t := k - 1; {
+		case t <= j:
+			hi = j
+		case t >= i:
+			lo = i
+		default:
+			return p // between the partitions: equal to the pivot
+		}
+	}
+	return a[lo]
 }
 
 // mergeSupports returns the sorted union of two sorted index sets.

@@ -69,69 +69,67 @@ func iht(m sensing.Matrix, y linalg.Vector, s int, opt Options, biased bool) (*R
 	colBuf := make(linalg.Vector, p.M)
 	prevNorm := math.Inf(1)
 	iters := 0
+	stalled := false
+	var trace []float64
 	for t := 0; t < maxIter; t++ {
 		iters = t + 1
 		grad = d.correlate(residual, grad)
 		mu := 1.0
 		norm := prevNorm
 		// Backtracking: halve μ until the step does not increase ‖r‖.
+		// If no μ in the range does, reject the step entirely and keep
+		// the previous iterate — accepting a residual-increasing iterate
+		// here used to let the loop ping-pong between two bad supports
+		// for the whole budget under DisableEarlyStop.
+		accepted := false
 		for attempt := 0; attempt < 8; attempt++ {
 			for i := range prox {
 				prox[i] = x[i] + mu*grad[i]
 			}
 			hardThreshold(prox, s)
 			candRes := applyResidual(d, y, prox, colBuf)
-			if cn := candRes.Norm2(); cn <= prevNorm || attempt == 7 {
+			if cn := candRes.Norm2(); cn <= prevNorm {
 				copy(x, prox)
 				residual = candRes
 				norm = cn
+				accepted = true
 				break
 			}
 			mu /= 2
+		}
+		if opt.TraceResidual {
+			if accepted {
+				trace = append(trace, norm)
+			} else {
+				trace = append(trace, prevNorm)
+			}
+		}
+		if !accepted {
+			stalled = true
+			break
 		}
 		if norm <= tol {
 			break
 		}
 		if !opt.DisableEarlyStop && norm >= prevNorm*(1-opt.stallRelTol()) && t > 0 {
+			stalled = true
 			break
 		}
 		prevNorm = norm
 	}
 
-	// Debias: least squares on the final support (standard IHT polish),
-	// so exact-sparse instances recover exactly.
-	support := nonzeroIndices(x)
-	qr := linalg.NewIncrementalQR(p.M)
-	qr.SetTarget(y)
-	var kept []int
-	for _, j := range support {
-		colBuf = d.col(j, colBuf)
-		if _, err := qr.Append(colBuf); err != nil {
-			continue
-		}
-		kept = append(kept, j)
+	// Debias: least squares on the final support (standard IHT polish)
+	// with coefficient pruning, so exact-sparse instances recover exactly
+	// and spare sparsity slots don't surface as phantom outliers.
+	kept, coef, resNorm, err := debiasPruned(d, y, yNorm, nonzeroIndices(x), p.M)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Iterations: iters}
-	if len(kept) > 0 {
-		z, err := qr.Solve()
-		if err != nil {
-			return nil, err
-		}
-		if biased {
-			for i, j := range kept {
-				if j == 0 {
-					res.Mode = z[i] / math.Sqrt(float64(p.N))
-				} else {
-					res.Support = append(res.Support, j-1)
-					res.Coef = append(res.Coef, z[i])
-				}
-			}
-		} else {
-			res.Support = append(res.Support, kept...)
-			res.Coef = append(res.Coef, z...)
-		}
-	}
-	res.X = assemble(p.N, res.Mode, res.Support, res.Coef)
+	res := extendedResult(p.N, kept, coef, biased)
+	res.Iterations = iters
+	res.StoppedEarly = stalled
+	res.ResidualTrace = trace
+	res.Residual = resNorm
 	return res, nil
 }
 
@@ -140,21 +138,55 @@ func hardThreshold(v linalg.Vector, s int) {
 	if s >= len(v) {
 		return
 	}
-	idx := topAbsIndices(v, s)
-	keep := make(map[int]bool, s)
-	for _, j := range idx {
-		keep[j] = true
+	// Same keep-set as topAbsIndices(v, s) — strictly-above the s-th
+	// largest magnitude plus lowest-index ties — zeroed in place without
+	// the index sort or a map (this runs on every IHT/AIHT step
+	// proposal, including each backtracking halving).
+	work := make([]float64, len(v))
+	for i, x := range v {
+		work[i] = math.Abs(x)
 	}
-	for i := range v {
-		if !keep[i] {
-			v[i] = 0
+	th := kthLargest(work, s)
+	above := 0
+	for _, x := range v {
+		if math.Abs(x) > th {
+			above++
 		}
+	}
+	rem := s - above
+	for i, x := range v {
+		a := math.Abs(x)
+		if a > th {
+			continue
+		}
+		if a == th && rem > 0 {
+			rem--
+			continue
+		}
+		v[i] = 0
 	}
 }
 
-// applyResidual computes y − Φ·x for a sparse iterate x by accumulating
-// columns (cost: nnz(x)·M).
+// applyResidual computes y − Φ·x for a sparse iterate x — one fused
+// sparse measurement when the dictionary supports it (colBuf doubles as
+// the image buffer), column accumulation otherwise (cost: nnz(x)·M).
 func applyResidual(d dictionary, y, x, colBuf linalg.Vector) linalg.Vector {
+	if si, ok := d.(sparseImager); ok {
+		var idx []int
+		for j, v := range x {
+			if v != 0 {
+				idx = append(idx, j)
+			}
+		}
+		vals := make([]float64, len(idx))
+		for k, j := range idx {
+			vals[k] = x[j]
+		}
+		img := si.image(idx, vals, colBuf)
+		r := y.Clone()
+		r.AddScaled(-1, img)
+		return r
+	}
 	r := y.Clone()
 	for j, v := range x {
 		if v == 0 {

@@ -1,0 +1,139 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/sensing"
+)
+
+// explicitMat is a test-only sensing.Matrix over explicit columns, used
+// to build adversarial dictionaries (coherent or badly scaled columns)
+// that the seeded ensembles never produce.
+type explicitMat struct {
+	cols []linalg.Vector // N columns of length M
+}
+
+func (e *explicitMat) Params() sensing.Params {
+	return sensing.Params{M: len(e.cols[0]), N: len(e.cols)}
+}
+
+func (e *explicitMat) Col(j int, dst linalg.Vector) linalg.Vector {
+	dst = ensureVec(dst, len(e.cols[j]))
+	copy(dst, e.cols[j])
+	return dst
+}
+
+func (e *explicitMat) Measure(x, dst linalg.Vector) linalg.Vector {
+	dst = ensureVec(dst, len(e.cols[0]))
+	dst.Fill(0)
+	for j, c := range e.cols {
+		dst.AddScaled(x[j], c)
+	}
+	return dst
+}
+
+func (e *explicitMat) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
+	dst = ensureVec(dst, len(e.cols[0]))
+	dst.Fill(0)
+	for i, j := range idx {
+		dst.AddScaled(vals[i], e.cols[j])
+	}
+	return dst
+}
+
+func (e *explicitMat) Correlate(r, dst linalg.Vector) linalg.Vector {
+	dst = ensureVec(dst, len(e.cols))
+	for j, c := range e.cols {
+		dst[j] = c.Dot(r)
+	}
+	return dst
+}
+
+func (e *explicitMat) ExtensionColumn(dst linalg.Vector) linalg.Vector {
+	dst = ensureVec(dst, len(e.cols[0]))
+	dst.Fill(0)
+	for _, c := range e.cols {
+		dst.AddScaled(1, c)
+	}
+	scale := 1 / math.Sqrt(float64(len(e.cols)))
+	for i := range dst {
+		dst[i] *= scale
+	}
+	return dst
+}
+
+// TestIHTRejectsResidualIncreasingStep pins the backtracking fix: on a
+// dictionary with a badly scaled column (‖φ₁‖² ≫ 256), every μ in the
+// 8-halving range overshoots — μ‖φ₁‖² > 2 keeps the step residual-
+// increasing even at μ = 1/128. The old code accepted the attempt-7
+// iterate unconditionally, so with DisableEarlyStop the loop diverged
+// for the whole budget (each "accepted" iterate worse than the last).
+// The fix rejects the step and terminates with the previous iterate.
+func TestIHTRejectsResidualIncreasingStep(t *testing.T) {
+	mat := &explicitMat{cols: []linalg.Vector{
+		{1, 0},
+		{0, 40}, // ‖φ₁‖² = 1600 > 256: all 8 halvings overshoot
+	}}
+	y := linalg.Vector{1, 1}
+	res, err := IHT(mat, y, 1, Options{
+		MaxIterations:    50,
+		DisableEarlyStop: true,
+		TraceResidual:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iteration 1 always accepts (the reference norm starts at +Inf);
+	// iteration 2's step is rejected at every μ, so the loop must
+	// terminate right there instead of burning (and diverging through)
+	// the 50-iteration budget as the old code did.
+	if res.Iterations != 2 {
+		t.Errorf("Iterations = %d, want 2 (step rejected, loop terminated)", res.Iterations)
+	}
+	if !res.StoppedEarly {
+		t.Error("StoppedEarly = false, want true (rejected step terminates the loop)")
+	}
+	// The accepted-iterate residual sequence must be non-increasing.
+	prev := math.Inf(1)
+	for i, r := range res.ResidualTrace {
+		if r > prev {
+			t.Errorf("ResidualTrace[%d] = %g > previous %g: residual-increasing iterate accepted", i, r, prev)
+		}
+		prev = r
+	}
+	// Debias on the kept support {1} gives the optimal coefficient
+	// ⟨y,φ₁⟩/‖φ₁‖² = 0.025 and residual (1,0).
+	if math.Abs(res.Residual-1) > 1e-12 {
+		t.Errorf("Residual = %g, want 1 (debiased LS on the kept support)", res.Residual)
+	}
+}
+
+// TestIHTBacktrackingStillRecovers checks the fix does not break the
+// normal path: a well-scaled exact-sparse instance still recovers, and
+// the residual trace is monotone under DisableEarlyStop.
+func TestIHTBacktrackingStillRecovers(t *testing.T) {
+	const n, m, s = 64, 32, 3
+	mat := dense(t, m, n, 0xb4c7)
+	x := make(linalg.Vector, n)
+	x[5], x[17], x[40] = 9, -7, 4
+	y := mat.Measure(x, nil)
+	res, err := IHT(mat, y, s, Options{TraceResidual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !supportEqual(res.Support, []int{5, 17, 40}) {
+		t.Fatalf("support = %v, want [5 17 40]", res.Support)
+	}
+	prev := math.Inf(1)
+	for i, r := range res.ResidualTrace {
+		if r > prev+1e-12 {
+			t.Errorf("ResidualTrace[%d] = %g > previous %g", i, r, prev)
+		}
+		prev = r
+	}
+	if res.Residual > 1e-6*y.Norm2() {
+		t.Errorf("Residual = %g, want ~0 after debias", res.Residual)
+	}
+}

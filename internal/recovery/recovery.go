@@ -200,6 +200,10 @@ func (d *plainDict) correlate(r, dst linalg.Vector) linalg.Vector {
 	return d.m.Correlate(r, dst)
 }
 
+func (d *plainDict) image(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
+	return d.m.MeasureSparse(idx, vals, dst)
+}
+
 // biasedDict exposes the extended matrix Φ = [φ₀, Φ₀] (paper eq. 2):
 // column 0 is the bias column, column j+1 is φ_j.
 type biasedDict struct {
@@ -228,6 +232,33 @@ func (d *biasedDict) correlate(r, dst linalg.Vector) linalg.Vector {
 	d.m.Correlate(r, dst[1:])
 	dst[0] = d.phi0.Dot(r)
 	return dst
+}
+
+func (d *biasedDict) image(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
+	c0 := 0.0
+	dataIdx := make([]int, 0, len(idx))
+	dataVals := make([]float64, 0, len(idx))
+	for k, j := range idx {
+		if j == 0 {
+			c0 += vals[k]
+			continue
+		}
+		dataIdx = append(dataIdx, j-1)
+		dataVals = append(dataVals, vals[k])
+	}
+	dst = d.m.MeasureSparse(dataIdx, dataVals, dst)
+	if c0 != 0 {
+		dst.AddScaled(c0, d.phi0)
+	}
+	return dst
+}
+
+// sparseImager is implemented by dictionaries that can compute Φ·v for
+// a sparse v through the ensemble's fused MeasureSparse kernel, which
+// beats column-at-a-time accumulation (strided reads on dense storage,
+// one column regeneration per index on seeded storage).
+type sparseImager interface {
+	image(idx []int, vals []float64, dst linalg.Vector) linalg.Vector
 }
 
 type diagnostics struct {

@@ -1,0 +1,146 @@
+package recovery
+
+import (
+	"fmt"
+
+	"csoutlier/internal/sensing"
+)
+
+// Solver identifies one recovery algorithm in the multi-solver backend.
+// All solvers answer the same biased sparse-recovery question and agree
+// on exact-sparse instances (the simtest differential suite enforces
+// this against the centralized oracle); they differ in cost profile and
+// robustness, which is what Selector trades between.
+type Solver int
+
+const (
+	// SolverAuto lets the Selector pick per query.
+	SolverAuto Solver = iota
+	// SolverBOMP is the paper's greedy bias-aware OMP — the default and
+	// the only solver with a batched block-correlation engine.
+	SolverBOMP
+	// SolverOLS is greedy orthogonal least squares: picks the column
+	// minimizing the post-projection residual instead of the best
+	// correlation. Slower per iteration, occasionally better supports.
+	SolverOLS
+	// SolverCoSaMP is support-correcting matching pursuit with a target
+	// sparsity.
+	SolverCoSaMP
+	// SolverIHT is fixed-step iterative hard thresholding.
+	SolverIHT
+	// SolverAIHT is adaptive-step (normalized) IHT: cheapest per
+	// iteration at large target sparsity.
+	SolverAIHT
+	// SolverBP is the basis-pursuit LP relaxation (reference baseline;
+	// heavy).
+	SolverBP
+	// SolverDantzig is the Dantzig-selector ADMM: the robustness choice
+	// when the data is only approximately sparse.
+	SolverDantzig
+)
+
+var solverNames = [...]string{
+	SolverAuto:    "auto",
+	SolverBOMP:    "bomp",
+	SolverOLS:     "ols",
+	SolverCoSaMP:  "cosamp",
+	SolverIHT:     "iht",
+	SolverAIHT:    "aiht",
+	SolverBP:      "bp",
+	SolverDantzig: "dantzig",
+}
+
+func (s Solver) String() string {
+	if s < 0 || int(s) >= len(solverNames) {
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+	return solverNames[s]
+}
+
+// Solvers lists every concrete solver (everything but SolverAuto), in
+// stable order — the range the cross-check suite and the metrics
+// pre-seeding iterate.
+func Solvers() []Solver {
+	return []Solver{SolverBOMP, SolverOLS, SolverCoSaMP, SolverIHT, SolverAIHT, SolverBP, SolverDantzig}
+}
+
+// ParseSolver parses a -solver flag value.
+func ParseSolver(name string) (Solver, error) {
+	for s, n := range solverNames {
+		if n == name {
+			return Solver(s), nil
+		}
+	}
+	return 0, fmt.Errorf("recovery: unknown solver %q (want auto, bomp, ols, cosamp, iht, aiht, bp or dantzig)", name)
+}
+
+// QueryProfile is what the Selector sees about one outlier query.
+type QueryProfile struct {
+	// K is the number of outliers requested.
+	K int
+	// Budget is the iteration / target-sparsity budget derived from K
+	// (or forced by configuration).
+	Budget int
+	// M, N are the sketch length and key-space size.
+	M, N int
+	// Kind is the measurement ensemble family.
+	Kind sensing.Kind
+	// PrevResidual is the previous generation's RELATIVE residual
+	// (‖y − Φx̂‖/‖y‖) for this standing query, or 0 when unknown. A
+	// persistently high value means the data is less sparse than the
+	// budget assumes.
+	PrevResidual float64
+	// Warm reports whether the query carries a warm-start hint.
+	Warm bool
+}
+
+// Selector picks a solver per query. The zero value is the automatic
+// policy; setting Force pins every pick (the -solver flag).
+type Selector struct {
+	// Force, when not SolverAuto, overrides the policy for every query.
+	Force Solver
+}
+
+// Selection-policy thresholds. They only steer cost/robustness — every
+// candidate returns the oracle answer on recoverable instances, so a
+// misjudged threshold costs time, not correctness.
+const (
+	// selAIHTMinK: below this many requested outliers BOMP's 3k+1 greedy
+	// iterations are already cheap and its guarantees are the strongest.
+	selAIHTMinK = 16
+	// selAIHTMinRatio: AIHT's thresholding needs measurement headroom
+	// M ≥ ratio·k to converge reliably at large sparsity.
+	selAIHTMinRatio = 8
+	// selDantzigResidual: a standing query whose previous generation
+	// left this fraction of ‖y‖ unexplained is treated as
+	// approximately-sparse data, where the Dantzig selector's ℓ∞
+	// constraint is the robust formulation.
+	selDantzigResidual = 0.25
+	// selDantzigMaxElems bounds M·(N+1): the ADMM path materializes the
+	// extended dictionary and an M×M Gram factorization.
+	selDantzigMaxElems = int64(1) << 23
+)
+
+// Pick chooses the solver for one query.
+func (sel Selector) Pick(p QueryProfile) Solver {
+	if sel.Force != SolverAuto {
+		return sel.Force
+	}
+	// Count-sketch columns collide by construction; the greedy extended-
+	// dictionary path is the one tuned for that family (and pairs with
+	// its recovery-free point-query fast path).
+	if p.Kind == sensing.KindCountSketch {
+		return SolverBOMP
+	}
+	// Residual history says the sparsity assumption is degrading: switch
+	// the standing query to the robustness solver while the problem stays
+	// small enough to materialize.
+	if p.PrevResidual > selDantzigResidual && int64(p.M)*int64(p.N+1) <= selDantzigMaxElems {
+		return SolverDantzig
+	}
+	// Large-s regime: first-order AIHT beats QR-augmented greedy growth.
+	if p.K >= selAIHTMinK && p.M >= selAIHTMinRatio*p.K {
+		return SolverAIHT
+	}
+	return SolverBOMP
+}

@@ -1,0 +1,181 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/xrand"
+)
+
+// sentinelEnsembles instantiates one matrix per measurement family at a
+// shared shape. CountSketch's hashed columns collide too much for
+// guaranteed exact sparse recovery (its exact flag is false): there the
+// sentinel properties still must hold, but results are only required to
+// be deterministic, not truth-equal.
+func sentinelEnsembles(t testing.TB, m, n int, seed uint64) []struct {
+	name  string
+	mat   sensing.Matrix
+	exact bool
+} {
+	t.Helper()
+	var out []struct {
+		name  string
+		mat   sensing.Matrix
+		exact bool
+	}
+	for _, e := range []struct {
+		kind  sensing.Kind
+		exact bool
+	}{
+		{sensing.KindGaussian, true},
+		{sensing.KindSparseRademacher, true},
+		{sensing.KindSRHT, true},
+		{sensing.KindCountSketch, false},
+	} {
+		spec := sensing.Spec{Params: sensing.Params{M: m, N: n, Seed: seed}, Kind: e.kind}
+		mat, err := sensing.New(spec, 1<<30)
+		if err != nil {
+			t.Fatalf("%v: %v", e.kind, err)
+		}
+		out = append(out, struct {
+			name  string
+			mat   sensing.Matrix
+			exact bool
+		}{e.kind.String(), mat, e.exact})
+	}
+	return out
+}
+
+// resultsIdentical compares the fields the sentinel contract covers.
+func resultsIdentical(a, b *Result) bool {
+	if a.Mode != b.Mode || a.Iterations != b.Iterations || len(a.Support) != len(b.Support) {
+		return false
+	}
+	for i := range a.Support {
+		if a.Support[i] != b.Support[i] || a.Coef[i] != b.Coef[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolverSentinelParity is the cross-solver Options contract test:
+// the PR 6 sentinel semantics (zero ResidualTol/StallRelTol meaning
+// "default", negative meaning "disabled") must behave identically for
+// BOMP, AIHT and Dantzig on every measurement ensemble.
+func TestSolverSentinelParity(t *testing.T) {
+	const m, n, s, bias = 128, 256, 5, 300.0
+	solvers := []struct {
+		name string
+		run  func(mat sensing.Matrix, y linalg.Vector, opt Options) (*Result, error)
+	}{
+		{"bomp", func(mat sensing.Matrix, y linalg.Vector, opt Options) (*Result, error) {
+			return BOMP(mat, y, opt)
+		}},
+		{"aiht", func(mat sensing.Matrix, y linalg.Vector, opt Options) (*Result, error) {
+			return BiasedAIHT(mat, y, s, opt)
+		}},
+		{"dantzig", func(mat sensing.Matrix, y linalg.Vector, opt Options) (*Result, error) {
+			return BiasedDantzig(mat, y, s, opt)
+		}},
+	}
+	for _, ens := range sentinelEnsembles(t, m, n, 0x5e47) {
+		rng := xrand.New(0x5e47)
+		x, want := biasedSparse(rng, n, s, bias, 100, 1000)
+		y := ens.mat.Measure(x, nil)
+		for _, sv := range solvers {
+			label := ens.name + "/" + sv.name
+
+			// Zero sentinels resolve to the documented defaults: an
+			// Options{} run and an explicit-defaults run are identical.
+			zero, err := sv.run(ens.mat, y, Options{})
+			if err != nil {
+				t.Fatalf("%s: zero-sentinel run: %v", label, err)
+			}
+			expl, err := sv.run(ens.mat, y, Options{ResidualTol: 1e-9, StallRelTol: 1e-12})
+			if err != nil {
+				t.Fatalf("%s: explicit-default run: %v", label, err)
+			}
+			if !resultsIdentical(zero, expl) {
+				t.Errorf("%s: Options{} differs from explicit defaults: %+v vs %+v", label, zero, expl)
+			}
+
+			// A negative StallRelTol means threshold 0 (stall on any
+			// non-decrease), not "disabled": the run must terminate
+			// without error, and on exact-recovery ensembles the strict
+			// greedy descent means it still finds the truth.
+			neg, err := sv.run(ens.mat, y, Options{StallRelTol: -1})
+			if err != nil {
+				t.Fatalf("%s: negative StallRelTol run: %v", label, err)
+			}
+			if ens.exact {
+				if !supportEqual(zero.Support, want) {
+					t.Errorf("%s: default run missed truth: %v want %v", label, zero.Support, want)
+				}
+				if !supportEqual(neg.Support, want) {
+					t.Errorf("%s: StallRelTol=-1 run missed truth: %v want %v", label, neg.Support, want)
+				}
+				if math.Abs(zero.Mode-bias) > 1e-6*bias {
+					t.Errorf("%s: mode = %g, want %g", label, zero.Mode, bias)
+				}
+			}
+
+			// A negative ResidualTol disables tolerance stops; combined
+			// with DisableEarlyStop the solver must not error and must
+			// not report a tolerance-triggered zero-iteration result.
+			dis, err := sv.run(ens.mat, y, Options{ResidualTol: -1, DisableEarlyStop: true})
+			if err != nil {
+				t.Fatalf("%s: disabled-stops run: %v", label, err)
+			}
+			if dis.Iterations < 1 {
+				t.Errorf("%s: disabled-stops run reported %d iterations", label, dis.Iterations)
+			}
+		}
+	}
+}
+
+// TestWarmFastPathHonorsResidualTolSentinel pins the interaction the
+// warm shortcut has with the sentinel: a negative ResidualTol disables
+// tolerance stops, and the zero-iteration fast path is a tolerance stop,
+// so a warm restart under ResidualTol=-1 must run the iteration.
+func TestWarmFastPathHonorsResidualTolSentinel(t *testing.T) {
+	inst := newSolverInstance(t, 160, 400, 8, 500, 23)
+	cold, err := BiasedAIHT(inst.mat, inst.y, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, "cold", cold, inst)
+
+	warmA, err := BiasedAIHTWarm(inst.mat, inst.y, 8, cold.Selection, Options{ResidualTol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmA.Iterations == 0 {
+		t.Error("aiht: warm fast path fired despite ResidualTol=-1")
+	}
+	warmD, err := BiasedDantzigWarm(inst.mat, inst.y, 8, cold.Selection, Options{ResidualTol: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmD.Iterations == 0 {
+		t.Error("dantzig: warm fast path fired despite ResidualTol=-1")
+	}
+	// And with the default tolerance both shortcuts fire.
+	for _, run := range []func() (*Result, error){
+		func() (*Result, error) { return BiasedAIHTWarm(inst.mat, inst.y, 8, cold.Selection, Options{}) },
+		func() (*Result, error) {
+			return BiasedDantzigWarm(inst.mat, inst.y, 8, cold.Selection, Options{})
+		},
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != 0 {
+			t.Errorf("default-tolerance warm restart ran %d iterations", res.Iterations)
+		}
+		checkExact(t, "warm", res, inst)
+	}
+}

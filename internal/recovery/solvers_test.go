@@ -1,0 +1,166 @@
+package recovery
+
+import (
+	"math"
+	"testing"
+
+	"csoutlier/internal/linalg"
+	"csoutlier/internal/sensing"
+	"csoutlier/internal/xrand"
+)
+
+// solverInstance is one exact-sparse biased recovery problem shared by
+// the multi-solver tests.
+type solverInstance struct {
+	mat  sensing.Matrix
+	x    linalg.Vector
+	y    linalg.Vector
+	want []int
+}
+
+func newSolverInstance(t testing.TB, m, n, s int, bias float64, seed uint64) *solverInstance {
+	t.Helper()
+	rng := xrand.New(seed)
+	mat := dense(t, m, n, seed^0xabcd)
+	x, want := biasedSparse(rng, n, s, bias, 100, 1000)
+	return &solverInstance{mat: mat, x: x, y: mat.Measure(x, nil), want: want}
+}
+
+func checkExact(t *testing.T, label string, res *Result, inst *solverInstance) {
+	t.Helper()
+	if !supportEqual(res.Support, inst.want) {
+		t.Fatalf("%s: support = %v, want %v", label, res.Support, inst.want)
+	}
+	scale := 1.0
+	for _, v := range inst.x {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	for i := range inst.x {
+		if d := math.Abs(res.X[i] - inst.x[i]); d > 1e-6*scale {
+			t.Fatalf("%s: X[%d] = %g, want %g", label, i, res.X[i], inst.x[i])
+		}
+	}
+}
+
+// TestDantzigExactRecovery pins the Dantzig selector's exact-sparse
+// behaviour: cold recovery matches the truth, and a warm restart from
+// its own Selection takes the fast path — zero ADMM iterations.
+func TestDantzigExactRecovery(t *testing.T) {
+	inst := newSolverInstance(t, 160, 400, 12, 500, 9)
+	res, err := BiasedDantzig(inst.mat, inst.y, 12, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, "cold", res, inst)
+	if math.Abs(res.Mode-500) > 1e-6*500 {
+		t.Fatalf("mode = %g, want 500", res.Mode)
+	}
+	if len(res.Selection) != 13 { // bias + 12 outliers
+		t.Fatalf("selection = %v, want 13 extended indices", res.Selection)
+	}
+
+	res2, err := BiasedDantzigWarm(inst.mat, inst.y, 12, res.Selection, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations != 0 {
+		t.Errorf("warm restart ran %d ADMM iterations, want fast path (0)", res2.Iterations)
+	}
+	checkExact(t, "warm", res2, inst)
+}
+
+// TestAIHTExactRecovery pins adaptive-step IHT the same way: exact cold
+// recovery, zero-iteration warm restart from its own Selection, and
+// cross-solver warm-start (a BOMP Selection warms AIHT) — the property
+// solver migration across fold generations relies on.
+func TestAIHTExactRecovery(t *testing.T) {
+	inst := newSolverInstance(t, 160, 400, 12, 500, 11)
+	res, err := BiasedAIHT(inst.mat, inst.y, 12, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, "cold", res, inst)
+	if math.Abs(res.Mode-500) > 1e-6*500 {
+		t.Fatalf("mode = %g, want 500", res.Mode)
+	}
+
+	res2, err := BiasedAIHTWarm(inst.mat, inst.y, 12, res.Selection, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Iterations != 0 {
+		t.Errorf("warm restart ran %d iterations, want fast path (0)", res2.Iterations)
+	}
+	checkExact(t, "warm", res2, inst)
+
+	// Cross-solver migration: warm AIHT from BOMP's Selection.
+	bomp, err := BOMP(inst.mat, inst.y, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := BiasedAIHTWarm(inst.mat, inst.y, 12, bomp.Selection, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Iterations != 0 {
+		t.Errorf("BOMP-warmed run ran %d iterations, want fast path (0)", res3.Iterations)
+	}
+	checkExact(t, "bomp-warm", res3, inst)
+}
+
+// TestAIHTGarbageWarmHintStillRecovers checks the warm-start safety
+// contract: a stale or garbage hint costs iterations, never correctness.
+func TestAIHTGarbageWarmHintStillRecovers(t *testing.T) {
+	inst := newSolverInstance(t, 160, 400, 8, 500, 13)
+	garbage := []int{0, 3, 7, 399, 401, -5, 401, 12} // dupes + out of range
+	res, err := BiasedAIHTWarm(inst.mat, inst.y, 8, garbage, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, "garbage-warm", res, inst)
+}
+
+// TestBiasedBPExactRecovery checks the convex-relaxation path over the
+// extended dictionary: unknown bias recovered into Mode, outliers exact.
+func TestBiasedBPExactRecovery(t *testing.T) {
+	inst := newSolverInstance(t, 40, 64, 4, 300, 17)
+	res, err := BiasedBP(inst.mat, inst.y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, "biased-bp", res, inst)
+	if math.Abs(res.Mode-300) > 1e-6*300 {
+		t.Fatalf("mode = %g, want 300", res.Mode)
+	}
+	if len(res.Selection) == 0 || res.Selection[0] != 0 {
+		t.Fatalf("selection = %v, want bias column first", res.Selection)
+	}
+}
+
+// TestSolversPruneOverShotSparsity drives every sparsity-targeted solver
+// with a target far above the true sparsity and requires the reported
+// support to stay exactly the true one: the spare slots fill with
+// columns whose least-squares coefficients are float noise, and the
+// coefficient prune must drop them rather than report phantom outliers.
+func TestSolversPruneOverShotSparsity(t *testing.T) {
+	const trueS = 4
+	inst := newSolverInstance(t, 120, 200, trueS, 400, 19)
+	solvers := []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"cosamp", func() (*Result, error) { return BiasedCoSaMP(inst.mat, inst.y, 3*trueS, Options{}) }},
+		{"iht", func() (*Result, error) { return BiasedIHT(inst.mat, inst.y, 3*trueS, Options{}) }},
+		{"aiht", func() (*Result, error) { return BiasedAIHT(inst.mat, inst.y, 3*trueS, Options{}) }},
+		{"dantzig", func() (*Result, error) { return BiasedDantzig(inst.mat, inst.y, 3*trueS, Options{}) }},
+	}
+	for _, sv := range solvers {
+		res, err := sv.run()
+		if err != nil {
+			t.Fatalf("%s: %v", sv.name, err)
+		}
+		checkExact(t, sv.name, res, inst)
+	}
+}

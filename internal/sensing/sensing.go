@@ -225,7 +225,7 @@ func (d *Dense) Measure(x, dst linalg.Vector) linalg.Vector {
 func (d *Dense) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) linalg.Vector {
 	n, m := d.p.N, d.p.M
 	dst = ensure(dst, m)
-	if len(idx) > 64 && len(idx) > n/16 {
+	if len(idx) > 64 && len(idx) > n/4 {
 		xp := d.getScatter()
 		x := *xp
 		clear(x)
@@ -239,20 +239,27 @@ func (d *Dense) MeasureSparse(idx []int, vals []float64, dst linalg.Vector) lina
 		d.putScatter(xp)
 		return dst
 	}
-	data := d.mat.Data
-	for k, j := range idx {
-		v := vals[k]
-		if v == 0 {
-			continue
-		}
+	for _, j := range idx {
 		if j < 0 || j >= n {
 			// Explicit check: row-major indexing would otherwise alias a
 			// neighbouring row's entry instead of failing fast.
 			panic(fmt.Sprintf("sensing: index %d out of [0,%d)", j, n))
 		}
-		for i, e := 0, j; i < m; i, e = i+1, e+n {
-			dst[i] += v * data[e]
+	}
+	// Row-major gather: accumulate Σ vals[k]·row[idx[k]] one row at a
+	// time. Same flop count as the column-at-a-time walk, but the memory
+	// access moves forward monotonically inside each row instead of
+	// striding N doubles per element, and it reads only nnz/N of the
+	// matrix — which is why the dense MulVec above only wins once the
+	// input stops being sparse.
+	data := d.mat.Data
+	for i := 0; i < m; i++ {
+		row := data[i*n : i*n+n]
+		acc := 0.0
+		for k, j := range idx {
+			acc += vals[k] * row[j]
 		}
+		dst[i] += acc
 	}
 	return dst
 }

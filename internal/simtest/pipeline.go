@@ -83,6 +83,10 @@ func RunCluster(scn Scenario, data *Data, h Hooks) (*csoutlier.ClusterReport, er
 		MinNodes:    scn.IncludedNodes(),
 		NodeTimeout: nodeTimeout,
 		MaxAttempts: 2,
+		// Scenario-scoped retry jitter: pull-path replays are
+		// deterministic for a given scenario seed (| 1 keeps it
+		// non-zero, since 0 means "per-address default seeding").
+		BackoffSeed: scn.Seed | 1,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("simtest: DetectCluster: %w", err)

@@ -1,0 +1,45 @@
+package simtest
+
+import (
+	"flag"
+	"testing"
+)
+
+// The solver cross-check runs every solver (plus the auto selector)
+// twice per scenario, including the heavy basis-pursuit LP, so its
+// default sweep is smaller than TestSim's.
+var flagSolverCount = flag.Int("sim.solvercount", 8,
+	"number of randomized scenarios TestSimSolvers cross-checks across every solver")
+
+// TestSimSolvers is the multi-solver differential suite: -sim.solvercount
+// randomized scenarios, each answered by every recovery solver and by
+// the automatic selector, all compared against the exact centralized
+// oracle. A failing scenario prints the same replayable one-liner as
+// TestSim; -sim.replay runs the cross-check on that single scenario.
+func TestSimSolvers(t *testing.T) {
+	if *flagReplay != "" {
+		scn, err := ParseScenario(*flagReplay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckSolvers(scn); err != nil {
+			t.Fatalf("replayed scenario failed solver cross-check: %v\nscenario: %s", err, scn)
+		}
+		return
+	}
+
+	base := baseSeed(t)
+	for i := 0; i < *flagSolverCount; i++ {
+		i := i
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			scn := Generate(base, i)
+			if err := CheckSolvers(scn); err != nil {
+				t.Fatalf("scenario %d (base seed %d) failed solver cross-check: %v\n"+
+					"replay:   go test ./internal/simtest -run 'TestSimSolvers$' -sim.replay='%s'\n"+
+					"scenario: %s",
+					i, base, err, scn, scn)
+			}
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package simtest
+
+import (
+	"fmt"
+
+	"csoutlier"
+)
+
+// crossCheckSolvers is the order the differential solver suite runs in:
+// every concrete solver, then the automatic selector — the selector runs
+// last so its pick is checked against the same oracle on the same
+// scenario, enforcing that it never routes a query to a solver that
+// would disagree.
+var crossCheckSolvers = []csoutlier.Solver{
+	csoutlier.SolverBOMP,
+	csoutlier.SolverOLS,
+	csoutlier.SolverCoSaMP,
+	csoutlier.SolverIHT,
+	csoutlier.SolverAIHT,
+	csoutlier.SolverBP,
+	csoutlier.SolverDantzig,
+	csoutlier.SolverAuto,
+}
+
+// SolverSketcher builds the scenario's sketcher with a forced (or auto)
+// recovery solver — same matrix seed and iteration budget as the
+// pipeline's Sketcher, so every solver answers the identical instance.
+func (s Scenario) SolverSketcher(keys []string, sv csoutlier.Solver) (*csoutlier.Sketcher, error) {
+	return csoutlier.NewSketcher(keys, csoutlier.Config{
+		M:             s.M,
+		Seed:          s.Seed ^ 0x9e3779b97f4a7c15,
+		MaxIterations: recoveryBudget(s.S, s.K),
+		Ensemble:      s.Ens,
+		Solver:        sv,
+	})
+}
+
+// CheckSolvers is the multi-solver differential cross-check: every
+// recovery solver (and the automatic selector) must answer the
+// scenario's k-outlier query identically to the exact centralized
+// oracle, both from a cold start and warm-started from the PREVIOUS
+// solver's Selection — the fold-generation migration path, where a
+// standing query switches solvers but keeps its warm hint. The returned
+// error names the first disagreeing solver.
+func CheckSolvers(scn Scenario) error {
+	data, err := scn.Build()
+	if err != nil {
+		return err
+	}
+	ans, err := Oracle(scn, data)
+	if err != nil {
+		return err
+	}
+	var warm []int
+	for _, sv := range crossCheckSolvers {
+		sk, err := scn.SolverSketcher(data.Keys, sv)
+		if err != nil {
+			return fmt.Errorf("solver %v: %w", sv, err)
+		}
+		y, err := sk.SketchVector(data.Global)
+		if err != nil {
+			return fmt.Errorf("solver %v: %w", sv, err)
+		}
+		cold, err := sk.Detect(y, scn.K)
+		if err != nil {
+			return fmt.Errorf("solver %v: %w", sv, err)
+		}
+		if err := compareReport(cold, ans); err != nil {
+			return fmt.Errorf("solver %v (cold, routed to %s): %w", sv, cold.Solver, err)
+		}
+		migrated, err := sk.DetectQuery(y, scn.K, warm)
+		if err != nil {
+			return fmt.Errorf("solver %v: %w", sv, err)
+		}
+		if err := compareReport(migrated, ans); err != nil {
+			return fmt.Errorf("solver %v (warm-started from previous solver): %w", sv, err)
+		}
+		warm = cold.Selection
+	}
+	return nil
+}

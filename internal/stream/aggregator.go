@@ -952,6 +952,7 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 	type slot struct {
 		key      queryKey
 		warm     []int
+		prevRes  float64
 		standing bool
 	}
 	a.mu.Lock()
@@ -961,7 +962,11 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 	if prev, ok := a.cache[key]; ok {
 		// The entry exists but is stale — this query has now been asked
 		// twice, so it is standing, and its old selection is the warm hint.
+		// Its old residual is the selector's residual history: a standing
+		// query whose sketch stays badly explained migrates to the
+		// robustness solver on the next generation.
 		slots[0].warm = prev.sel
+		slots[0].prevRes = prev.report.Residual
 		slots[0].standing = true
 	}
 	for k2, v := range a.cache {
@@ -969,7 +974,7 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 			break
 		}
 		if k2 != key && v.standing && v.gen != gen {
-			slots = append(slots, slot{key: k2, warm: v.sel, standing: true})
+			slots = append(slots, slot{key: k2, warm: v.sel, prevRes: v.report.Residual, standing: true})
 		}
 	}
 	for len(a.qsketches) < len(slots) {
@@ -987,7 +992,7 @@ func (a *Aggregator) Outliers(fromAge, toAge, k int) (*csoutlier.Report, error) 
 			continue // a piggybacked span no longer resolves; drop it
 		}
 		kept = append(kept, sl)
-		queries = append(queries, csoutlier.BatchQuery{Global: sketch, K: sl.key.k, Warm: sl.warm})
+		queries = append(queries, csoutlier.BatchQuery{Global: sketch, K: sl.key.k, Warm: sl.warm, PrevResidual: sl.prevRes})
 	}
 	a.mu.Unlock()
 	reports, err := a.sk.DetectBatch(queries)

@@ -52,6 +52,9 @@ go test -race ./...
 echo "== simulation smoke: randomized end-to-end scenarios =="
 go test ./internal/simtest -run 'TestSim$' -sim.count=50
 
+echo "== solver cross-check: every recovery solver vs the exact oracle =="
+go test ./internal/simtest -run 'TestSimSolvers$' -sim.solvercount=8
+
 echo "== streaming soak: chaos-TCP push pipeline vs per-window oracle =="
 go test ./internal/simtest -run 'TestStreamSoak$' -sim.streamcount=25
 
@@ -80,7 +83,7 @@ trap cleanup EXIT INT TERM
 printf 'key000\nkey001\nkey002\nkey003\nkey004\nkey005\nkey006\nkey007\n' >"$tmp/keys.txt"
 go build -o "$tmp/csstreamd" ./cmd/csstreamd
 go build -o "$tmp/obscheck" ./cmd/obscheck
-"$tmp/csstreamd" -dict "$tmp/keys.txt" -m 4 -listen 127.0.0.1:0 \
+"$tmp/csstreamd" -dict "$tmp/keys.txt" -m 4 -solver aiht -listen 127.0.0.1:0 \
 	-metrics-addr 127.0.0.1:0 -report-every 0 >"$tmp/log" 2>&1 &
 daemon=$!
 url=""
@@ -95,7 +98,7 @@ if [ -z "$url" ]; then
 	exit 1
 fi
 "$tmp/obscheck" -url "$url" -require \
-	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total,stream_snapshot_commits_total,stream_snapshot_errors_total,stream_snapshot_bytes,stream_snapshot_seconds,stream_membership_events_total,stream_membership_version,stream_membership_tombstones,stream_agg_epoch,stream_shed_frames_total,stream_shed_folds_total,pointq_queries_total,pointq_refreshes_total,pointq_outliers_total,pointq_seconds,pointq_remote_queries_total,pointq_remote_keys_total,pointq_remote_errors_total,pointq_remote_seconds
+	stream_frames_total,stream_frame_outcomes_total,stream_fold_seconds,stream_ingest_queue_depth,stream_window,stream_recovery_cache_total,stream_warm_starts_total,stream_batch_refreshes_total,recovery_detect_seconds,recovery_batch_queries_total,stream_snapshot_commits_total,stream_snapshot_errors_total,stream_snapshot_bytes,stream_snapshot_seconds,stream_membership_events_total,stream_membership_version,stream_membership_tombstones,stream_agg_epoch,stream_shed_frames_total,stream_shed_folds_total,pointq_queries_total,pointq_refreshes_total,pointq_outliers_total,pointq_seconds,pointq_remote_queries_total,pointq_remote_keys_total,pointq_remote_errors_total,pointq_remote_seconds,recovery_solver_picks_total,recovery_solver_seconds
 "$tmp/obscheck" -url "${url%/metrics}/healthz" -health
 
 echo "== hierarchical metrics smoke: tier_*/shard_* on a live relay =="
